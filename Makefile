@@ -1,0 +1,33 @@
+# Convenience targets for the hotpotato reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments vet fmt cover
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper table & figure (tables to stdout).
+experiments:
+	$(GO) run ./cmd/experiments -exp all
+
+# One testing.B benchmark per paper table/figure.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' ./...

@@ -1,0 +1,324 @@
+// Package hotpotato is a pure-Go reproduction of "Thermal Management for
+// S-NUCA Many-Cores via Synchronous Thread Rotations" (Shen, Niknam,
+// Pathania, Pimentel — DATE 2023).
+//
+// It bundles, behind one import path, everything the paper builds on:
+//
+//   - an interval thermal simulator for S-NUCA many-cores (the HotSniper
+//     substitute): grid floorplan, XY-routed NoC, S-NUCA cache hierarchy,
+//     HotSpot-style RC thermal model with an exact matrix-exponential
+//     transient solver, DVFS power model, and PARSEC-like workload models;
+//   - the paper's analytical peak-temperature method for synchronous thread
+//     rotations (Eqs. 4–11, Algorithm 1);
+//   - the HotPotato scheduler (Algorithm 2) and its baselines: PCMig
+//     (TSP-based DVFS + asynchronous migrations), a TSP-DVFS governor, a
+//     static pinner, and a fixed synchronous rotation;
+//   - harnesses regenerating every figure and table of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	plat, _ := hotpotato.NewPlatform(8, 8)       // the Table I 64-core chip
+//	specs, _ := hotpotato.HomogeneousFullLoad(hotpotato.MustBenchmark("x264"), 64, []int{2, 4, 8})
+//	tasks, _ := hotpotato.Instantiate(specs)
+//	sched := hotpotato.NewHotPotatoScheduler(plat, 70)
+//	res, _ := hotpotato.Run(plat, hotpotato.DefaultSimConfig(), sched, tasks)
+//	fmt.Printf("makespan %.1f ms, peak %.1f °C\n", res.Makespan*1e3, res.PeakTemp)
+package hotpotato
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/rotation"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/tracerec"
+	"repro/internal/workload"
+)
+
+// Core simulation types, re-exported from the internal toolkit.
+type (
+	// Platform bundles the hardware models of one simulated chip.
+	Platform = sim.Platform
+	// PlatformConfig collects all substrate parameters.
+	PlatformConfig = sim.PlatformConfig
+	// SimConfig controls one simulation run (DTM threshold, slice, ...).
+	SimConfig = sim.Config
+	// Result carries the metrics of a completed run.
+	Result = sim.Result
+	// TaskStat is the per-task outcome inside a Result.
+	TaskStat = sim.TaskStat
+	// Scheduler is the policy plug-in interface.
+	Scheduler = sim.Scheduler
+	// SchedulerState is the snapshot handed to a Scheduler.
+	SchedulerState = sim.State
+	// SchedulerDecision is a scheduler's thread→core mapping and DVFS answer.
+	SchedulerDecision = sim.Decision
+	// ThreadID identifies one thread of one task.
+	ThreadID = sim.ThreadID
+	// ThreadInfo is the scheduler-visible view of one thread.
+	ThreadInfo = sim.ThreadInfo
+	// TraceFunc observes every simulation slice.
+	TraceFunc = sim.TraceFunc
+)
+
+// Workload types.
+type (
+	// Benchmark is the interval-level model of one PARSEC application.
+	Benchmark = workload.Benchmark
+	// Task is a live multi-threaded benchmark instance.
+	Task = workload.Task
+	// Spec describes one task of a mix before instantiation.
+	Spec = workload.Spec
+)
+
+// Rotation analytics (the paper's Algorithm 1).
+type (
+	// RotationPlan is a periodic power schedule: δ epochs of τ seconds.
+	RotationPlan = rotation.Plan
+	// PeakCalculator evaluates rotation plans analytically.
+	PeakCalculator = rotation.Calculator
+	// RotationResult is the detailed periodic steady state of a plan.
+	RotationResult = rotation.Result
+)
+
+// Scheduler options.
+type (
+	// HotPotatoOption customises the HotPotato scheduler.
+	HotPotatoOption = sched.HotPotatoOption
+	// PCMigOption customises the PCMig baseline.
+	PCMigOption = sched.PCMigOption
+)
+
+// ErrTimeout reports that a run hit SimConfig.MaxTime before completing.
+var ErrTimeout = sim.ErrTimeout
+
+// NewPlatform builds the default (Table I) platform at the given grid size.
+// The paper's evaluation chip is NewPlatform(8, 8); the motivational example
+// uses NewPlatform(4, 4).
+func NewPlatform(width, height int) (*Platform, error) {
+	return sim.NewPlatform(sim.DefaultPlatformConfig(width, height))
+}
+
+// NewPlatformFromConfig builds a platform with customised substrates.
+func NewPlatformFromConfig(cfg PlatformConfig) (*Platform, error) {
+	return sim.NewPlatform(cfg)
+}
+
+// DefaultPlatformConfig returns the Table I parameters at a grid size.
+func DefaultPlatformConfig(width, height int) PlatformConfig {
+	return sim.DefaultPlatformConfig(width, height)
+}
+
+// DefaultSimConfig returns the §VI evaluation configuration: 70 °C DTM
+// threshold, 0.5 ms scheduler epochs, 0.1 ms slices.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Run executes tasks under a scheduler on a platform and returns the
+// metrics. It wraps sim.New + Run for the common case; use NewSimulation to
+// attach a trace observer first.
+func Run(plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Result, error) {
+	simulation, err := sim.New(plat, cfg, s, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return simulation.Run()
+}
+
+// Simulation is a prepared run that can be instrumented before starting.
+type Simulation = sim.Simulator
+
+// NewSimulation prepares a run without starting it.
+func NewSimulation(plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Simulation, error) {
+	return sim.New(plat, cfg, s, tasks)
+}
+
+// NewHotPotatoScheduler builds the paper's scheduler (Algorithm 2) for a
+// platform and DTM threshold.
+func NewHotPotatoScheduler(plat *Platform, tdtm float64, opts ...HotPotatoOption) Scheduler {
+	return sched.NewHotPotato(plat, tdtm, opts...)
+}
+
+// WithRotationInterval sets HotPotato's initial τ (default 0.5 ms).
+func WithRotationInterval(tau float64) HotPotatoOption { return sched.WithRotationInterval(tau) }
+
+// WithHeadroom sets HotPotato's Δ headroom (default 1 °C).
+func WithHeadroom(delta float64) HotPotatoOption { return sched.WithHeadroom(delta) }
+
+// WithRotationBounds sets HotPotato's τ adaptation range.
+func WithRotationBounds(min, max float64) HotPotatoOption {
+	return sched.WithRotationBounds(min, max)
+}
+
+// NewHotPotatoDVFSScheduler builds the paper's §VII future-work extension:
+// synchronous rotation unified with DVFS. It behaves like HotPotato until
+// even the fastest rotation is predicted unsafe, then trims the chip
+// frequency instead of riding the hardware DTM.
+func NewHotPotatoDVFSScheduler(plat *Platform, tdtm float64, opts ...HotPotatoOption) Scheduler {
+	return sched.NewHotPotatoDVFS(plat, tdtm, opts...)
+}
+
+// NewPCMigScheduler builds the state-of-the-art baseline (TSP DVFS +
+// asynchronous migrations).
+func NewPCMigScheduler(tdtm float64, opts ...PCMigOption) Scheduler {
+	return sched.NewPCMig(tdtm, opts...)
+}
+
+// NewStaticScheduler pins threads to cores at a fixed frequency (0 = peak).
+func NewStaticScheduler(pins map[ThreadID]int, freq float64) Scheduler {
+	return sched.NewStatic(pins, freq)
+}
+
+// NewTSPScheduler pins threads like NewStaticScheduler but budgets their
+// power with TSP-driven DVFS.
+func NewTSPScheduler(pins map[ThreadID]int, tdtm float64) Scheduler {
+	return sched.NewTSPGovernor(pins, tdtm)
+}
+
+// NewRotationScheduler rotates threads synchronously around a core cycle at
+// a fixed interval (the paper's Fig. 2(c) policy).
+func NewRotationScheduler(slots map[ThreadID]int, cores []int, tau float64) (Scheduler, error) {
+	return sched.NewRotationStatic(slots, cores, tau)
+}
+
+// TSPBudget computes the Thermal Safe Power budget [14] for a set of active
+// cores at the given threshold.
+func TSPBudget(plat *Platform, active []int, tdtm float64) float64 {
+	return sched.TSPBudget(plat, active, tdtm)
+}
+
+// PARSEC returns the eight benchmark models of the paper's evaluation.
+func PARSEC() []Benchmark { return workload.PARSEC() }
+
+// BenchmarkByName looks up one PARSEC benchmark model.
+func BenchmarkByName(name string) (Benchmark, error) { return workload.ByName(name) }
+
+// MustBenchmark is BenchmarkByName but panics on unknown names; for
+// examples and tests.
+func MustBenchmark(name string) Benchmark {
+	b, err := workload.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// NewTask instantiates a benchmark as a live task.
+func NewTask(id int, b Benchmark, threads int, arrival, workScale float64) (*Task, error) {
+	return workload.NewTask(id, b, threads, arrival, workScale)
+}
+
+// HomogeneousFullLoad builds the Fig. 4(a) closed-system workload.
+func HomogeneousFullLoad(b Benchmark, totalThreads int, sizes []int) ([]Spec, error) {
+	return workload.HomogeneousFullLoad(b, totalThreads, sizes)
+}
+
+// RandomMix builds the Fig. 4(b) open-system workload (Poisson arrivals).
+func RandomMix(count int, arrivalRate float64, seed int64) ([]Spec, error) {
+	return workload.RandomMix(count, arrivalRate, seed)
+}
+
+// Instantiate converts specs into live tasks.
+func Instantiate(specs []Spec) ([]*Task, error) { return workload.Instantiate(specs) }
+
+// NewPeakCalculator builds the Algorithm 1 peak-temperature calculator for a
+// platform's thermal model (the design-time phase).
+func NewPeakCalculator(plat *Platform) *PeakCalculator {
+	return rotation.NewCalculator(plat.Thermal)
+}
+
+// RotatePlan builds a rotation plan that cycles the base power vector's
+// values around the given core sequence with epoch length tau.
+func RotatePlan(tau float64, base []float64, cores []int) RotationPlan {
+	return rotation.Rotate(tau, base, cores)
+}
+
+// Experiment harnesses (paper figure/table regeneration).
+type (
+	// Fig2Result holds the three motivational-example executions.
+	Fig2Result = experiments.Fig2Result
+	// Fig4aRow is one benchmark of the homogeneous comparison.
+	Fig4aRow = experiments.Fig4aRow
+	// Fig4bRow is one load level of the heterogeneous comparison.
+	Fig4bRow = experiments.Fig4bRow
+	// ExperimentOptions scales experiments (zero value = paper scale).
+	ExperimentOptions = experiments.Options
+	// OverheadResult reports scheduler run-time cost.
+	OverheadResult = experiments.OverheadResult
+)
+
+// Fig2 regenerates the paper's motivational example (Fig. 2a–c).
+func Fig2(traceStride int) (*Fig2Result, error) { return experiments.Fig2(traceStride) }
+
+// Fig4a regenerates the homogeneous full-load comparison (Fig. 4a).
+func Fig4a(opts ExperimentOptions) ([]Fig4aRow, error) { return experiments.Fig4a(opts) }
+
+// Fig4b regenerates the heterogeneous open-system comparison (Fig. 4b).
+func Fig4b(opts ExperimentOptions, rates []float64, taskCount int, seed int64) ([]Fig4bRow, error) {
+	return experiments.Fig4b(opts, rates, taskCount, seed)
+}
+
+// Overhead measures HotPotato's run-time cost on the 64-core platform
+// (paper §VI: 23.76 µs per decision).
+func Overhead() (*OverheadResult, error) { return experiments.Overhead() }
+
+// TraceRecorder collects per-slice traces (temperatures, powers,
+// frequencies) from a Simulation and exports CSV files and summaries.
+type TraceRecorder = tracerec.Recorder
+
+// NewTraceRecorder creates a recorder keeping every stride-th slice; install
+// it with Simulation.SetTrace(rec.Hook()).
+func NewTraceRecorder(stride int) (*TraceRecorder, error) { return tracerec.New(stride) }
+
+// NewStackedPlatformThermal builds the 3D-stacked RC thermal model of the
+// §VII future-work exploration: `layers` core layers over a width×height
+// grid, only the top layer adjacent to the heatsink path. The returned model
+// plugs into NewPeakCalculatorForModel unchanged.
+func NewStackedPlatformThermal(width, height, layers int) (*ThermalModel, error) {
+	fp, err := floorplan.New(width, height, 0.0009)
+	if err != nil {
+		return nil, err
+	}
+	return thermal.NewStacked(fp, thermal.DefaultStackedConfig(layers))
+}
+
+// ThermalModel is the RC thermal network (planar or 3D-stacked).
+type ThermalModel = thermal.Model
+
+// NewPeakCalculatorForModel builds the Algorithm 1 calculator directly over
+// a thermal model (use for 3D-stacked models; NewPeakCalculator covers the
+// planar platform case).
+func NewPeakCalculatorForModel(m *ThermalModel) *PeakCalculator {
+	return rotation.NewCalculator(m)
+}
+
+// StackedCoreID returns the core ID of (layer, position) in a stacked model
+// whose layers hold perLayer cores each.
+func StackedCoreID(layer, position, perLayer int) int {
+	return thermal.StackedCoreID(layer, position, perLayer)
+}
+
+// BenchmarksFromJSON decodes custom benchmark models from r (see
+// internal/workload's JSON schema: name, nominal_watts, base_cpi, mpki,
+// work, phases).
+func BenchmarksFromJSON(r io.Reader) ([]Benchmark, error) { return workload.FromJSON(r) }
+
+// BenchmarksToJSON encodes benchmark models in the BenchmarksFromJSON schema.
+func BenchmarksToJSON(w io.Writer, benchmarks []Benchmark) error {
+	return workload.ToJSON(w, benchmarks)
+}
+
+// HeatmapASCII renders a per-core temperature vector as an ASCII grid with a
+// legend; lo and hi bound the glyph ramp.
+func HeatmapASCII(temps []float64, width, height int, lo, hi float64) (string, error) {
+	return tracerec.Heatmap(temps, width, height, lo, hi)
+}
+
+// NewReactiveScheduler builds the naive feedback baseline: a per-core
+// ondemand-style thermal governor with no model or prediction.
+func NewReactiveScheduler(tdtm float64) Scheduler {
+	return sched.NewReactive(tdtm)
+}

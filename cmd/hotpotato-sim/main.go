@@ -1,0 +1,149 @@
+// Command hotpotato-sim runs one interval thermal simulation and prints the
+// resulting metrics.
+//
+// Examples:
+//
+//	hotpotato-sim -sched hotpotato -bench blackscholes -threads 64
+//	hotpotato-sim -sched pcmig -mix 20 -rate 100
+//	hotpotato-sim -sched hotpotato -grid 4 -bench canneal -threads 8 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	hotpotato "repro"
+)
+
+func main() {
+	schedName := flag.String("sched", "hotpotato", "scheduler: hotpotato|hotpotato-dvfs|pcmig")
+	grid := flag.Int("grid", 8, "chip edge length (grid×grid cores)")
+	bench := flag.String("bench", "", "homogeneous workload: PARSEC benchmark name")
+	benchFile := flag.String("benchfile", "", "JSON file with custom benchmark models (see BenchmarksFromJSON)")
+	threads := flag.Int("threads", 0, "homogeneous workload: total threads (default: fill the chip)")
+	mix := flag.Int("mix", 0, "heterogeneous workload: number of random tasks (overrides -bench)")
+	rate := flag.Float64("rate", 100, "heterogeneous workload: Poisson arrival rate, tasks/s")
+	seed := flag.Int64("seed", 12345, "random seed for -mix")
+	tdtm := flag.Float64("tdtm", 70, "DTM threshold, °C")
+	tau := flag.Float64("tau", 0.5e-3, "HotPotato initial rotation interval, seconds")
+	verbose := flag.Bool("v", false, "print per-task statistics")
+	heatmap := flag.Bool("heatmap", false, "print an ASCII heatmap of the hottest moment")
+	flag.Parse()
+
+	plat, err := hotpotato.NewPlatform(*grid, *grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lookup := hotpotato.BenchmarkByName
+	if *benchFile != "" {
+		f, ferr := os.Open(*benchFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		custom, ferr := hotpotato.BenchmarksFromJSON(f)
+		f.Close()
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		lookup = func(name string) (hotpotato.Benchmark, error) {
+			for _, b := range custom {
+				if b.Name == name {
+					return b, nil
+				}
+			}
+			return hotpotato.Benchmark{}, fmt.Errorf("benchmark %q not in %s", name, *benchFile)
+		}
+	}
+
+	var specs []hotpotato.Spec
+	switch {
+	case *mix > 0:
+		specs, err = hotpotato.RandomMix(*mix, *rate, *seed)
+	case *bench != "":
+		total := *threads
+		if total == 0 {
+			total = plat.NumCores()
+		}
+		var b hotpotato.Benchmark
+		b, err = lookup(*bench)
+		if err == nil {
+			specs, err = hotpotato.HomogeneousFullLoad(b, total, []int{2, 4, 8})
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -bench or -mix")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks, err := hotpotato.Instantiate(specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sch hotpotato.Scheduler
+	switch *schedName {
+	case "hotpotato":
+		sch = hotpotato.NewHotPotatoScheduler(plat, *tdtm, hotpotato.WithRotationInterval(*tau))
+	case "hotpotato-dvfs":
+		sch = hotpotato.NewHotPotatoDVFSScheduler(plat, *tdtm, hotpotato.WithRotationInterval(*tau))
+	case "pcmig":
+		sch = hotpotato.NewPCMigScheduler(*tdtm)
+	default:
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+
+	simulation, err := hotpotato.NewSimulation(plat, hotpotato.DefaultSimConfig(), sch, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rec *hotpotato.TraceRecorder
+	if *heatmap {
+		rec, err = hotpotato.NewTraceRecorder(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simulation.SetTrace(rec.Hook())
+	}
+	res, err := simulation.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduler:     %s\n", res.Scheduler)
+	fmt.Printf("tasks:         %d\n", len(res.Tasks))
+	fmt.Printf("makespan:      %.1f ms\n", res.Makespan*1e3)
+	fmt.Printf("avg response:  %.1f ms\n", res.AvgResponse*1e3)
+	fmt.Printf("max response:  %.1f ms\n", res.MaxResponse*1e3)
+	fmt.Printf("peak temp:     %.2f °C (threshold %.1f)\n", res.PeakTemp, *tdtm)
+	fmt.Printf("DTM:           %d events, %.1f ms throttled\n", res.DTMEvents, res.DTMTime*1e3)
+	fmt.Printf("migrations:    %d\n", res.Migrations)
+	fmt.Printf("core energy:   %.2f J\n", res.EnergyJ)
+	fmt.Printf("sched calls:   %d (%.1f µs avg host time)\n", res.SchedulerInvocations,
+		float64(res.SchedulerHostTime.Microseconds())/float64(res.SchedulerInvocations))
+
+	if *heatmap {
+		out, err := rec.HottestSampleHeatmap(*grid, *grid, 45, *tdtm+5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(out)
+	}
+
+	if *verbose {
+		fmt.Println()
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "task\tbenchmark\tthreads\tarrival\tresponse")
+		for _, t := range res.Tasks {
+			fmt.Fprintf(tw, "%d\t%s\t%d\t%.1f ms\t%.1f ms\n",
+				t.ID, t.Benchmark, t.Threads, t.Arrival*1e3, t.Response*1e3)
+		}
+		tw.Flush()
+	}
+}

@@ -1,0 +1,101 @@
+// Command thermal-trace runs one simulation and streams the per-core
+// temperature trace as CSV — the raw material of the paper's Fig. 2 plots.
+//
+// Example:
+//
+//	thermal-trace -grid 4 -bench blackscholes -threads 2 -sched rotation > trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	hotpotato "repro"
+)
+
+func main() {
+	grid := flag.Int("grid", 4, "chip edge length")
+	bench := flag.String("bench", "blackscholes", "PARSEC benchmark")
+	threads := flag.Int("threads", 2, "threads of the single task")
+	schedName := flag.String("sched", "rotation", "scheduler: static|tsp|rotation|hotpotato|pcmig")
+	tau := flag.Float64("tau", 0.5e-3, "rotation interval for -sched rotation/hotpotato")
+	stride := flag.Int("stride", 5, "output every N-th slice")
+	flag.Parse()
+
+	plat, err := hotpotato.NewPlatform(*grid, *grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := hotpotato.BenchmarkByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := hotpotato.NewTask(0, b, *threads, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pin threads to the lowest-AMD cores for the static policies.
+	rings := plat.FP.Rings()
+	var pinCores []int
+	for _, ring := range rings {
+		pinCores = append(pinCores, ring.Cores...)
+	}
+	pins := map[hotpotato.ThreadID]int{}
+	slots := map[hotpotato.ThreadID]int{}
+	inner := rings[0].Cores
+	for i := 0; i < *threads; i++ {
+		pins[hotpotato.ThreadID{Task: 0, Thread: i}] = pinCores[i]
+		slots[hotpotato.ThreadID{Task: 0, Thread: i}] = (i * len(inner) / max(*threads, 1)) % len(inner)
+	}
+
+	var sch hotpotato.Scheduler
+	cfg := hotpotato.DefaultSimConfig()
+	switch *schedName {
+	case "static":
+		cfg.DTMEnabled = false
+		sch = hotpotato.NewStaticScheduler(pins, 0)
+	case "tsp":
+		sch = hotpotato.NewTSPScheduler(pins, cfg.TDTM)
+	case "rotation":
+		sch, err = hotpotato.NewRotationScheduler(slots, inner, *tau)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case "hotpotato":
+		sch = hotpotato.NewHotPotatoScheduler(plat, cfg.TDTM, hotpotato.WithRotationInterval(*tau))
+	case "pcmig":
+		sch = hotpotato.NewPCMigScheduler(cfg.TDTM)
+	default:
+		log.Fatalf("unknown scheduler %q", *schedName)
+	}
+
+	s, err := hotpotato.NewSimulation(plat, cfg, sch, []*hotpotato.Task{task})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rec, err := hotpotato.NewTraceRecorder(*stride)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.SetTrace(rec.Hook())
+	res, err := s.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteTemperatureCSV(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "response %.1f ms, peak %.2f °C, %d migrations, trace %s\n",
+		res.AvgResponse*1e3, res.PeakTemp, res.Migrations, rec.TempSummary())
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

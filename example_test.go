@@ -1,0 +1,98 @@
+package hotpotato_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	hotpotato "repro"
+)
+
+// Example runs the paper's motivational workload — a two-threaded
+// blackscholes — on the 16-core chip under HotPotato and reports whether the
+// execution stayed within the 70 °C threshold's neighbourhood. The
+// simulation is fully deterministic.
+func Example() {
+	plat, err := hotpotato.NewPlatform(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	task, err := hotpotato.NewTask(0, hotpotato.MustBenchmark("blackscholes"), 2, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := hotpotato.NewHotPotatoScheduler(plat, 70)
+	res, err := hotpotato.Run(plat, hotpotato.DefaultSimConfig(), sched, []*hotpotato.Task{task})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduler: %s\n", res.Scheduler)
+	fmt.Printf("finished: %v\n", res.Tasks[0].Finish > 0)
+	fmt.Printf("rotated: %v\n", res.Migrations > 0)
+	fmt.Printf("peak within DTM neighbourhood: %v\n", res.PeakTemp < 72)
+	// Output:
+	// scheduler: hotpotato
+	// finished: true
+	// rotated: true
+	// peak within DTM neighbourhood: true
+}
+
+// ExampleNewPeakCalculator evaluates a synchronous rotation analytically
+// (the paper's Algorithm 1) without running a simulation.
+func ExampleNewPeakCalculator() {
+	plat, err := hotpotato.NewPlatform(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	calc := hotpotato.NewPeakCalculator(plat)
+
+	base := make([]float64, 16)
+	for i := range base {
+		base[i] = 0.3
+	}
+	base[5] = 9 // one hot thread
+
+	pinned, err := calc.PeakTemperature(hotpotato.RotationPlan{Tau: 1e-3, Powers: [][]float64{base}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rotating, err := calc.PeakTemperature(hotpotato.RotatePlan(0.5e-3, base, []int{5, 6, 10, 9}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned breaches 70 °C: %v\n", pinned > 70)
+	fmt.Printf("rotation stays below 70 °C: %v\n", rotating < 70)
+	// Output:
+	// pinned breaches 70 °C: true
+	// rotation stays below 70 °C: true
+}
+
+// ExampleTSPBudget computes the Thermal Safe Power budget for the four
+// centre cores of the 16-core chip.
+func ExampleTSPBudget() {
+	plat, err := hotpotato.NewPlatform(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	two := hotpotato.TSPBudget(plat, []int{5, 10}, 70)
+	four := hotpotato.TSPBudget(plat, []int{5, 6, 9, 10}, 70)
+	fmt.Printf("2 active cores get more watts than 4: %v\n", two > four)
+	// Output:
+	// 2 active cores get more watts than 4: true
+}
+
+// ExampleBenchmarksFromJSON loads a custom benchmark model from JSON.
+func ExampleBenchmarksFromJSON() {
+	src := `[{
+	  "name": "mykernel", "nominal_watts": 7.5, "base_cpi": 0.9,
+	  "mpki": 4, "work": 3.0e8,
+	  "phases": [{"kind": "serial", "frac": 0.2}, {"kind": "parallel", "frac": 0.8}]
+	}]`
+	bs, err := hotpotato.BenchmarksFromJSON(strings.NewReader(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.1f W, %d phases\n", bs[0].Name, bs[0].NominalWatts, len(bs[0].Phases))
+	// Output:
+	// mykernel: 7.5 W, 2 phases
+}

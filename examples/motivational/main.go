@@ -1,0 +1,53 @@
+// Motivational: reproduce the paper's Fig. 2 walkthrough — the same
+// two-threaded blackscholes executed (a) unmanaged at 4 GHz, (b) under TSP
+// DVFS power budgeting, and (c) under synchronous thread rotation at
+// τ = 0.5 ms — and print the thermal traces of the centre cores as CSV.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hotpotato "repro"
+)
+
+func main() {
+	res, err := hotpotato.Fig2(20) // record every 20th slice (2 ms stride)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("policy, response_ms, peak_C, breaches_70C")
+	report := []struct {
+		name                 string
+		responseMS, peakTemp float64
+		breaches             bool
+	}{
+		{"unmanaged-4GHz", res.None.Response * 1e3, res.None.PeakTemp, res.None.Breaches},
+		{"tsp-dvfs", res.TSP.Response * 1e3, res.TSP.PeakTemp, res.TSP.Breaches},
+		{"rotation-0.5ms", res.Rotation.Response * 1e3, res.Rotation.PeakTemp, res.Rotation.Breaches},
+	}
+	for _, r := range report {
+		fmt.Printf("%s, %.1f, %.1f, %v\n", r.name, r.responseMS, r.peakTemp, r.breaches)
+	}
+
+	// Thermal traces (max of the four centre cores) as CSV on stderr-free
+	// stdout, one block per policy — ready for plotting.
+	fmt.Println()
+	fmt.Println("time_ms, unmanaged_C, tsp_C, rotation_C")
+	n := len(res.None.Trace)
+	if len(res.TSP.Trace) < n {
+		n = len(res.TSP.Trace)
+	}
+	if len(res.Rotation.Trace) < n {
+		n = len(res.Rotation.Trace)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(os.Stdout, "%.2f, %.2f, %.2f, %.2f\n",
+			res.None.Trace[i].Time*1e3,
+			res.None.Trace[i].MaxTemp,
+			res.TSP.Trace[i].MaxTemp,
+			res.Rotation.Trace[i].MaxTemp)
+	}
+}

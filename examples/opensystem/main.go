@@ -1,0 +1,59 @@
+// Opensystem: the paper's Fig. 4(b) scenario at one load level — a random
+// multi-program PARSEC mix arrives as a Poisson process on the 64-core chip;
+// HotPotato and PCMig are compared on mean response time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	hotpotato "repro"
+)
+
+func main() {
+	rate := flag.Float64("rate", 100, "task arrival rate, tasks/second")
+	count := flag.Int("tasks", 20, "number of tasks in the mix")
+	seed := flag.Int64("seed", 12345, "workload random seed")
+	flag.Parse()
+
+	specs, err := hotpotato.RandomMix(*count, *rate, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type policy struct {
+		name string
+		mk   func(*hotpotato.Platform) hotpotato.Scheduler
+	}
+	policies := []policy{
+		{"hotpotato", func(p *hotpotato.Platform) hotpotato.Scheduler {
+			return hotpotato.NewHotPotatoScheduler(p, 70)
+		}},
+		{"pcmig", func(*hotpotato.Platform) hotpotato.Scheduler {
+			return hotpotato.NewPCMigScheduler(70)
+		}},
+	}
+
+	fmt.Printf("open system: %d tasks, Poisson arrivals at %.0f/s, seed %d\n\n", *count, *rate, *seed)
+	responses := map[string]float64{}
+	for _, p := range policies {
+		plat, err := hotpotato.NewPlatform(8, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tasks, err := hotpotato.Instantiate(specs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hotpotato.Run(plat, hotpotato.DefaultSimConfig(), p.mk(plat), tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		responses[p.name] = res.AvgResponse
+		fmt.Printf("%-10s avg response %.1f ms, max %.1f ms, peak %.1f °C, %d migrations\n",
+			p.name, res.AvgResponse*1e3, res.MaxResponse*1e3, res.PeakTemp, res.Migrations)
+	}
+	speedup := (responses["pcmig"] - responses["hotpotato"]) / responses["pcmig"] * 100
+	fmt.Printf("\nHotPotato speedup over PCMig: %.2f%%\n", speedup)
+}

@@ -1,0 +1,40 @@
+// Quickstart: run a two-threaded blackscholes on a 16-core S-NUCA chip under
+// the HotPotato scheduler and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hotpotato "repro"
+)
+
+func main() {
+	// The motivational 16-core chip (the paper's Fig. 1); the evaluation
+	// platform would be NewPlatform(8, 8).
+	plat, err := hotpotato.NewPlatform(4, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A two-threaded blackscholes instance arriving at t = 0.
+	task, err := hotpotato.NewTask(0, hotpotato.MustBenchmark("blackscholes"), 2, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// HotPotato with the paper's 70 °C DTM threshold.
+	sched := hotpotato.NewHotPotatoScheduler(plat, 70)
+
+	res, err := hotpotato.Run(plat, hotpotato.DefaultSimConfig(), sched, []*hotpotato.Task{task})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduler:    %s\n", res.Scheduler)
+	fmt.Printf("response:     %.1f ms\n", res.AvgResponse*1e3)
+	fmt.Printf("peak temp:    %.1f °C (threshold 70 °C)\n", res.PeakTemp)
+	fmt.Printf("migrations:   %d\n", res.Migrations)
+	fmt.Printf("core energy:  %.2f J\n", res.EnergyJ)
+	fmt.Printf("DTM events:   %d (%.1f ms throttled)\n", res.DTMEvents, res.DTMTime*1e3)
+}

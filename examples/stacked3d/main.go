@@ -1,0 +1,89 @@
+// Stacked3d: the paper's §VII outlook — thermal management of 3D-stacked
+// S-NUCA chips — explored with the analytical peak-temperature method. A
+// 9 W thread on the buried layer of a two-layer stack is evaluated pinned
+// and under several rotation scopes; only rotations spanning enough cores
+// bring it under the 70 °C threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hotpotato "repro"
+)
+
+func main() {
+	const perLayer = 16 // 4×4 grid per layer
+	model, err := hotpotato.NewStackedPlatformThermal(4, 4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	calc := hotpotato.NewPeakCalculatorForModel(model)
+
+	fmt.Printf("2-layer stacked 4x4 chip: %d cores, %d thermal nodes\n\n",
+		model.NumCores(), model.NumNodes())
+
+	// One 9 W thread on buried-layer core 5 (a centre core), idle elsewhere.
+	base := make([]float64, model.NumCores())
+	for i := range base {
+		base[i] = 0.3
+	}
+	buried := hotpotato.StackedCoreID(0, 5, perLayer)
+	base[buried] = 9
+
+	// Layer asymmetry first: uniform power, steady state.
+	uniform := make([]float64, model.NumCores())
+	for i := range uniform {
+		uniform[i] = 2
+	}
+	ss := model.SteadyState(uniform)
+	fmt.Printf("uniform 2 W/core steady state: buried core 5 at %.2f °C, top core 5 at %.2f °C\n\n",
+		ss[hotpotato.StackedCoreID(0, 5, perLayer)],
+		ss[hotpotato.StackedCoreID(1, 5, perLayer)])
+
+	scopes := []struct {
+		name  string
+		cores []int
+	}{
+		{"pinned (no rotation)", []int{buried}},
+		{"vertical pair", []int{
+			buried,
+			hotpotato.StackedCoreID(1, 5, perLayer),
+		}},
+		{"buried centre ring", []int{
+			hotpotato.StackedCoreID(0, 5, perLayer),
+			hotpotato.StackedCoreID(0, 6, perLayer),
+			hotpotato.StackedCoreID(0, 10, perLayer),
+			hotpotato.StackedCoreID(0, 9, perLayer),
+		}},
+		{"both centre rings (3D)", []int{
+			hotpotato.StackedCoreID(0, 5, perLayer),
+			hotpotato.StackedCoreID(0, 6, perLayer),
+			hotpotato.StackedCoreID(0, 10, perLayer),
+			hotpotato.StackedCoreID(0, 9, perLayer),
+			hotpotato.StackedCoreID(1, 5, perLayer),
+			hotpotato.StackedCoreID(1, 6, perLayer),
+			hotpotato.StackedCoreID(1, 10, perLayer),
+			hotpotato.StackedCoreID(1, 9, perLayer),
+		}},
+	}
+
+	fmt.Println("rotation scope, peak_C (Algorithm 1, τ = 0.5 ms)")
+	for _, sc := range scopes {
+		var plan hotpotato.RotationPlan
+		if len(sc.cores) == 1 {
+			plan = hotpotato.RotationPlan{Tau: 0.5e-3, Powers: [][]float64{base}}
+		} else {
+			plan = hotpotato.RotatePlan(0.5e-3, base, sc.cores)
+		}
+		peak, err := calc.PeakTemperature(plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if peak <= 70 {
+			marker = "  <= 70 °C threshold"
+		}
+		fmt.Printf("%-24s %.2f%s\n", sc.name+",", peak, marker)
+	}
+}

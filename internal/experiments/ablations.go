@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/floorplan"
+	"repro/internal/matrix"
+	"repro/internal/rotation"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// TauSweepRow is one rotation-interval setting of the τ ablation.
+type TauSweepRow struct {
+	Tau        float64 // seconds
+	Response   float64 // seconds
+	PeakTemp   float64 // °C
+	Migrations int
+}
+
+// TauSweep runs the Fig. 2(c) scenario at several rotation intervals,
+// exposing the trade-off Algorithm 2 navigates: faster rotation averages
+// temperature better but pays more migration overhead.
+func TauSweep(taus []float64) ([]TauSweepRow, error) {
+	var rows []TauSweepRow
+	for _, tau := range taus {
+		slots := map[sim.ThreadID]int{
+			{Task: 0, Thread: 0}: 0,
+			{Task: 0, Thread: 1}: 2,
+		}
+		rot, err := sched.NewRotationStatic(slots, []int{5, 6, 10, 9}, tau)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := newPlatform(4)
+		if err != nil {
+			return nil, err
+		}
+		b, err := workload.ByName("blackscholes")
+		if err != nil {
+			return nil, err
+		}
+		task, err := workload.NewTask(0, b, 2, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		cfg := sim.DefaultConfig()
+		cfg.DTMEnabled = false // expose the raw thermal consequence of τ
+		s, err := sim.New(plat, cfg, rot, []*workload.Task{task})
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TauSweepRow{
+			Tau: tau, Response: res.AvgResponse,
+			PeakTemp: res.PeakTemp, Migrations: res.Migrations,
+		})
+	}
+	return rows, nil
+}
+
+// DefaultTaus spans the τ adaptation range of HotPotato.
+func DefaultTaus() []float64 {
+	return []float64{0.125e-3, 0.25e-3, 0.5e-3, 1e-3, 2e-3, 4e-3}
+}
+
+// RingScopeRow compares rotation scopes.
+type RingScopeRow struct {
+	Scope    string
+	Response float64
+	PeakTemp float64
+}
+
+// RingScope contrasts HotPotato's within-ring rotation against rotating the
+// same two threads around the whole chip perimeter: whole-chip rotation
+// visits high-AMD cores (slower LLC) without a thermal advantage worth the
+// cost — the reason HotPotato confines rotation to AMD rings.
+func RingScope() ([]RingScopeRow, error) {
+	slots := map[sim.ThreadID]int{
+		{Task: 0, Thread: 0}: 0,
+		{Task: 0, Thread: 1}: 2,
+	}
+	fp := floorplan.MustNew(4, 4, 0.0009)
+	var outer []int
+	for _, ring := range fp.Rings() {
+		if len(ring.Cores) > len(outer) {
+			outer = ring.Cores
+		}
+	}
+	scopes := []struct {
+		name  string
+		cores []int
+	}{
+		{"inner-ring (HotPotato)", []int{5, 6, 10, 9}},
+		{"outer-ring", outer},
+	}
+	var rows []RingScopeRow
+	for _, sc := range scopes {
+		slotsHere := map[sim.ThreadID]int{}
+		for id := range slots {
+			slotsHere[id] = slots[id] % len(sc.cores)
+		}
+		// Keep the two threads maximally separated in the cycle.
+		slotsHere[sim.ThreadID{Task: 0, Thread: 1}] = len(sc.cores) / 2
+		rot, err := sched.NewRotationStatic(slotsHere, sc.cores, 0.5e-3)
+		if err != nil {
+			return nil, err
+		}
+		plat, err := newPlatform(4)
+		if err != nil {
+			return nil, err
+		}
+		b, err := workload.ByName("streamcluster") // memory-bound: AMD matters
+		if err != nil {
+			return nil, err
+		}
+		task, err := workload.NewTask(0, b, 2, 0, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(plat, sim.DefaultConfig(), rot, []*workload.Task{task})
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, RingScopeRow{Scope: sc.name, Response: res.AvgResponse, PeakTemp: res.PeakTemp})
+	}
+	return rows, nil
+}
+
+// MigrationCostRow is one point of the migration-cost sensitivity ablation.
+type MigrationCostRow struct {
+	CostScale      float64 // multiplier on the per-migration OS overhead
+	HotPotato      float64 // makespan, seconds
+	PCMig          float64
+	SpeedupPercent float64
+}
+
+// MigrationCostSweep rescales the per-migration cost and reruns a hot
+// homogeneous workload: HotPotato's advantage must shrink as migrations get
+// more expensive — the observation the whole paper rests on (cheap S-NUCA
+// migrations) run in reverse.
+func MigrationCostSweep(scales []float64, opts Options) ([]MigrationCostRow, error) {
+	opts = opts.withDefaults()
+	var rows []MigrationCostRow
+	b, err := workload.ByName("blackscholes")
+	if err != nil {
+		return nil, err
+	}
+	total := opts.GridEdge * opts.GridEdge
+	specs, err := workload.HomogeneousFullLoad(b, total, []int{2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	for _, scale := range scales {
+		pcfg := sim.DefaultPlatformConfig(opts.GridEdge, opts.GridEdge)
+		pcfg.Cache.OSOverhead = cache.DefaultConfig().OSOverhead * scale
+		run := func(mk func(*sim.Platform) sim.Scheduler) (float64, error) {
+			plat, err := sim.NewPlatform(pcfg)
+			if err != nil {
+				return 0, err
+			}
+			scaled := make([]workload.Spec, len(specs))
+			copy(scaled, specs)
+			for i := range scaled {
+				scaled[i].WorkScale *= opts.WorkScale
+			}
+			tasks, err := workload.Instantiate(scaled)
+			if err != nil {
+				return 0, err
+			}
+			s, err := sim.New(plat, sim.DefaultConfig(), mk(plat), tasks)
+			if err != nil {
+				return 0, err
+			}
+			res, err := s.Run()
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+		hp, err := run(func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) })
+		if err != nil {
+			return nil, err
+		}
+		pc, err := run(func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MigrationCostRow{
+			CostScale: scale, HotPotato: hp, PCMig: pc,
+			SpeedupPercent: (pc - hp) / pc * 100,
+		})
+	}
+	return rows, nil
+}
+
+// AnalyticVsBruteRow compares Algorithm 1 against explicit transient
+// simulation.
+type AnalyticVsBruteRow struct {
+	Delta         int
+	AnalyticPeak  float64
+	BrutePeak     float64
+	AnalyticTime  time.Duration
+	BruteTime     time.Duration
+	SpeedupFactor float64
+}
+
+// AnalyticVsBrute quantifies why Algorithm 1 matters: same answer as
+// brute-force transient simulation, orders of magnitude faster. Uses a
+// fast-time-constant model so the brute force converges in a bounded number
+// of periods.
+func AnalyticVsBrute(deltas []int) ([]AnalyticVsBruteRow, error) {
+	cfg := thermal.DefaultConfig()
+	cfg.SiCapacitance /= 100
+	cfg.SpCapacitance /= 100
+	cfg.SinkCapacitancePerCore /= 100
+	m, err := thermal.New(floorplan.MustNew(4, 4, 0.0009), cfg)
+	if err != nil {
+		return nil, err
+	}
+	calc := rotation.NewCalculator(m)
+
+	var rows []AnalyticVsBruteRow
+	for _, delta := range deltas {
+		base := matrix.Constant(16, 0.3)
+		base[5] = 9
+		cores := []int{5, 6, 10, 9, 4, 1, 2, 7, 11, 14, 13, 8}
+		if delta > len(cores) {
+			return nil, fmt.Errorf("experiments: delta %d exceeds available cores", delta)
+		}
+		plan := rotation.Rotate(0.5e-3, base, cores[:delta])
+
+		start := time.Now()
+		analytic, err := calc.PeakTemperature(plan)
+		if err != nil {
+			return nil, err
+		}
+		analyticTime := time.Since(start)
+
+		periods := int(0.3/(0.5e-3*float64(delta))) + 1
+		start = time.Now()
+		brute, err := calc.BruteForcePeak(plan, periods, 4)
+		if err != nil {
+			return nil, err
+		}
+		bruteTime := time.Since(start)
+
+		rows = append(rows, AnalyticVsBruteRow{
+			Delta:         delta,
+			AnalyticPeak:  analytic,
+			BrutePeak:     brute,
+			AnalyticTime:  analyticTime,
+			BruteTime:     bruteTime,
+			SpeedupFactor: float64(bruteTime) / float64(analyticTime),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// BaselineRow is one policy of the cross-policy summary.
+type BaselineRow struct {
+	Policy     string
+	Makespan   float64 // seconds
+	PeakTemp   float64 // °C
+	DTMTime    float64 // seconds throttled
+	Migrations int
+	EnergyJ    float64
+}
+
+// Baselines runs the full policy ladder on one hot full-load workload: a
+// naive reactive DVFS governor, PCMig, HotPotato, and the rotation+DVFS
+// hybrid — the one-table summary of the repo's comparative landscape.
+func Baselines(opts Options, benchName string) ([]BaselineRow, error) {
+	opts = opts.withDefaults()
+	b, err := workload.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := workload.HomogeneousFullLoad(b, opts.GridEdge*opts.GridEdge, []int{2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	policies := []struct {
+		name string
+		mk   func(*sim.Platform) sim.Scheduler
+	}{
+		{"async-migration (no DVFS)", func(*sim.Platform) sim.Scheduler { return sched.NewAsyncMigrate(opts.TDTM) }},
+		{"reactive (ondemand-style)", func(*sim.Platform) sim.Scheduler { return sched.NewReactive(opts.TDTM) }},
+		{"pcmig", func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) }},
+		{"hotpotato", func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) }},
+		{"hotpotato-dvfs", func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotatoDVFS(p, opts.TDTM) }},
+	}
+	var rows []BaselineRow
+	for _, p := range policies {
+		res, err := runWorkload(opts, p.mk, specs, sim.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baselines %s: %w", p.name, err)
+		}
+		rows = append(rows, BaselineRow{
+			Policy:     p.name,
+			Makespan:   res.Makespan,
+			PeakTemp:   res.PeakTemp,
+			DTMTime:    res.DTMTime,
+			Migrations: res.Migrations,
+			EnergyJ:    res.EnergyJ,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// runPair executes two scheduler variants of the same workload concurrently
+// (each on its own platform, fully isolated), halving experiment wall time.
+func runPair(opts Options,
+	mkA, mkB func(*sim.Platform) sim.Scheduler,
+	specs []workload.Spec, cfg sim.Config) (a, b *sim.Result, err error) {
+
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a, errA = runWorkload(opts, mkA, specs, cfg)
+	}()
+	go func() {
+		defer wg.Done()
+		b, errB = runWorkload(opts, mkB, specs, cfg)
+	}()
+	wg.Wait()
+	if errA != nil {
+		return nil, nil, errA
+	}
+	if errB != nil {
+		return nil, nil, errB
+	}
+	return a, b, nil
+}
+
+// HeterogeneityRow characterizes one benchmark on the platform — the
+// S-NUCA performance heterogeneity of [19] that both schedulers exploit.
+type HeterogeneityRow struct {
+	Benchmark string
+	// BestIPS and WorstIPS are instructions/second at peak frequency on the
+	// lowest- and highest-AMD cores.
+	BestIPS  float64
+	WorstIPS float64
+	// PlacementGainPercent is the center-vs-corner speedup.
+	PlacementGainPercent float64
+	// DVFSSlowdownPercent is the performance lost at half frequency (on the
+	// centre core) — the knob PCMig pays with.
+	DVFSSlowdownPercent float64
+}
+
+// Heterogeneity tabulates placement and DVFS sensitivity of every PARSEC
+// model on the 64-core platform: memory-bound benchmarks care about
+// placement and shrug off DVFS; compute-bound benchmarks are the reverse.
+func Heterogeneity() ([]HeterogeneityRow, error) {
+	plat, err := newPlatform(8)
+	if err != nil {
+		return nil, err
+	}
+	fp := plat.FP
+	// Lowest- and highest-AMD cores.
+	best, worst := 0, 0
+	for c := 1; c < fp.NumCores(); c++ {
+		if fp.AMD(c) < fp.AMD(best) {
+			best = c
+		}
+		if fp.AMD(c) > fp.AMD(worst) {
+			worst = c
+		}
+	}
+	fmax := plat.Power.DVFS().FMax
+	var rows []HeterogeneityRow
+	for _, b := range workload.PARSEC() {
+		p := b.Perf()
+		bestIPS := plat.Perf.IPS(p, best, fmax)
+		worstIPS := plat.Perf.IPS(p, worst, fmax)
+		slow := plat.Perf.SlowdownAt(p, best, fmax/2, fmax)
+		rows = append(rows, HeterogeneityRow{
+			Benchmark:            b.Name,
+			BestIPS:              bestIPS,
+			WorstIPS:             worstIPS,
+			PlacementGainPercent: (bestIPS/worstIPS - 1) * 100,
+			DVFSSlowdownPercent:  (slow - 1) * 100,
+		})
+	}
+	return rows, nil
+}
+
+// NoiseSweepRow is one sensor-noise level of the robustness ablation.
+type NoiseSweepRow struct {
+	NoiseStdDev float64 // K
+	Makespan    float64 // seconds
+	PeakTemp    float64
+	DTMTime     float64
+}
+
+// NoiseSweep reruns a hot full-load workload under HotPotato with increasing
+// scheduler-visible thermal-sensor noise. HotPotato leans on the Algorithm 1
+// model rather than raw sensor values, so moderate noise should cost little.
+func NoiseSweep(levels []float64, opts Options) ([]NoiseSweepRow, error) {
+	opts = opts.withDefaults()
+	b, err := workload.ByName("blackscholes")
+	if err != nil {
+		return nil, err
+	}
+	specs, err := workload.HomogeneousFullLoad(b, opts.GridEdge*opts.GridEdge, []int{2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	var rows []NoiseSweepRow
+	for _, level := range levels {
+		cfg := sim.DefaultConfig()
+		cfg.SensorNoiseStdDev = level
+		cfg.SensorNoiseSeed = 77
+		res, err := runWorkload(opts, func(p *sim.Platform) sim.Scheduler {
+			return sched.NewHotPotato(p, opts.TDTM)
+		}, specs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, NoiseSweepRow{
+			NoiseStdDev: level,
+			Makespan:    res.Makespan,
+			PeakTemp:    res.PeakTemp,
+			DTMTime:     res.DTMTime,
+		})
+	}
+	return rows, nil
+}
+
+// HeadroomSweepRow is one Δ setting of the headroom ablation.
+type HeadroomSweepRow struct {
+	Delta     float64 // K
+	Makespan  float64
+	PeakTemp  float64
+	DTMEvents int
+}
+
+// HeadroomSweep varies HotPotato's Δ (paper default 1 °C): a larger margin
+// buys fewer DTM excursions at the cost of more conservative scheduling.
+func HeadroomSweep(deltas []float64, opts Options) ([]HeadroomSweepRow, error) {
+	opts = opts.withDefaults()
+	b, err := workload.ByName("blackscholes")
+	if err != nil {
+		return nil, err
+	}
+	specs, err := workload.HomogeneousFullLoad(b, opts.GridEdge*opts.GridEdge, []int{2, 4, 8})
+	if err != nil {
+		return nil, err
+	}
+	var rows []HeadroomSweepRow
+	for _, delta := range deltas {
+		res, err := runWorkload(opts, func(p *sim.Platform) sim.Scheduler {
+			return sched.NewHotPotato(p, opts.TDTM, sched.WithHeadroom(delta))
+		}, specs, sim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, HeadroomSweepRow{
+			Delta:     delta,
+			Makespan:  res.Makespan,
+			PeakTemp:  res.PeakTemp,
+			DTMEvents: res.DTMEvents,
+		})
+	}
+	return rows, nil
+}
+
+// ContentionRow compares one benchmark with the NoC/bank contention model on
+// and off.
+type ContentionRow struct {
+	Benchmark         string
+	HotPotatoOff      float64 // makespan, contention-free
+	HotPotatoOn       float64 // makespan with contention
+	PCMigOn           float64
+	SpeedupOnPercent  float64 // HotPotato vs PCMig, both with contention
+	ContentionCostPct float64 // HotPotato slowdown from enabling contention
+}
+
+// Contention reruns the headline comparison with the bandwidth model
+// enabled for the memory-heavy benchmarks: the HotPotato-vs-PCMig
+// conclusion must survive shared-resource queueing.
+func Contention(opts Options, benchmarks []string) ([]ContentionRow, error) {
+	opts = opts.withDefaults()
+	var rows []ContentionRow
+	for _, name := range benchmarks {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		specs, err := workload.HomogeneousFullLoad(b, opts.GridEdge*opts.GridEdge, []int{2, 4, 8})
+		if err != nil {
+			return nil, err
+		}
+		cfgOn := sim.DefaultConfig()
+		cfgOn.NoCContention = true
+		hpOff, err := runWorkload(opts, func(p *sim.Platform) sim.Scheduler {
+			return sched.NewHotPotato(p, opts.TDTM)
+		}, specs, sim.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		hpOn, pcOn, err := runPair(opts,
+			func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
+			func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
+			specs, cfgOn)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ContentionRow{
+			Benchmark:         name,
+			HotPotatoOff:      hpOff.Makespan,
+			HotPotatoOn:       hpOn.Makespan,
+			PCMigOn:           pcOn.Makespan,
+			SpeedupOnPercent:  (pcOn.Makespan - hpOn.Makespan) / pcOn.Makespan * 100,
+			ContentionCostPct: (hpOn.Makespan/hpOff.Makespan - 1) * 100,
+		})
+	}
+	return rows, nil
+}

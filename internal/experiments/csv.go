@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// CSV emitters: gnuplot/pandas-ready flat files for every figure, so the
+// paper's plots can be regenerated outside Go.
+
+// WriteFig2TracesCSV writes the three Fig. 2 thermal traces side by side:
+// time_ms, unmanaged_C, tsp_C, rotation_C. The result must have been
+// produced with a positive trace stride.
+func WriteFig2TracesCSV(w io.Writer, res *Fig2Result) error {
+	n := len(res.None.Trace)
+	if len(res.TSP.Trace) < n {
+		n = len(res.TSP.Trace)
+	}
+	if len(res.Rotation.Trace) < n {
+		n = len(res.Rotation.Trace)
+	}
+	if n == 0 {
+		return fmt.Errorf("experiments: Fig2 result carries no traces (run Fig2 with a stride)")
+	}
+	if _, err := fmt.Fprintln(w, "time_ms,unmanaged_C,tsp_C,rotation_C"); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f,%.3f,%.3f\n",
+			res.None.Trace[i].Time*1e3,
+			res.None.Trace[i].MaxTemp,
+			res.TSP.Trace[i].MaxTemp,
+			res.Rotation.Trace[i].MaxTemp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig4aCSV writes the homogeneous comparison as CSV.
+func WriteFig4aCSV(w io.Writer, rows []Fig4aRow) error {
+	if _, err := fmt.Fprintln(w, "benchmark,hotpotato_ms,pcmig_ms,normalized,speedup_pct,hotpotato_J,pcmig_J"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.4f,%.2f,%.3f,%.3f\n",
+			r.Benchmark, r.HotPotatoMakespan*1e3, r.PCMigMakespan*1e3,
+			r.NormalizedMakespan, r.SpeedupPercent, r.HotPotatoEnergy, r.PCMigEnergy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFig4bCSV writes the heterogeneous comparison as CSV.
+func WriteFig4bCSV(w io.Writer, rows []Fig4bRow) error {
+	if _, err := fmt.Fprintln(w, "arrival_rate,hotpotato_ms,pcmig_ms,speedup_pct"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%.1f,%.3f,%.3f,%.2f\n",
+			r.ArrivalRate, r.HotPotatoResponse*1e3, r.PCMigResponse*1e3, r.SpeedupPercent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTauSweepCSV writes the τ ablation as CSV.
+func WriteTauSweepCSV(w io.Writer, rows []TauSweepRow) error {
+	if _, err := fmt.Fprintln(w, "tau_ms,response_ms,peak_C,migrations"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f,%.3f,%d\n",
+			r.Tau*1e3, r.Response*1e3, r.PeakTemp, r.Migrations); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig4aRow is one benchmark of the homogeneous full-load comparison.
+type Fig4aRow struct {
+	Benchmark          string
+	HotPotatoMakespan  float64 // seconds
+	PCMigMakespan      float64
+	NormalizedMakespan float64 // HotPotato / PCMig (the paper's Fig. 4a y-axis)
+	SpeedupPercent     float64 // (PCMig − HotPotato) / PCMig × 100
+	HotPotatoPeak      float64 // °C
+	PCMigPeak          float64
+	HotPotatoEnergy    float64 // J (core energy over the whole run)
+	PCMigEnergy        float64
+}
+
+// Fig4a reproduces the homogeneous full-load evaluation: the chip is fully
+// loaded with vari-sized (2/4/8-thread) instances of one benchmark, all
+// arriving at t = 0 (a closed system), and the makespans of HotPotato and
+// PCMig are compared.
+func Fig4a(opts Options) ([]Fig4aRow, error) {
+	opts = opts.withDefaults()
+	total := opts.GridEdge * opts.GridEdge
+	var rows []Fig4aRow
+	for _, b := range workload.PARSEC() {
+		specs, err := workload.HomogeneousFullLoad(b, total, []int{2, 4, 8})
+		if err != nil {
+			return nil, err
+		}
+		hp, pc, err := runPair(opts,
+			func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
+			func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
+			specs, sim.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4a %s: %w", b.Name, err)
+		}
+		rows = append(rows, Fig4aRow{
+			Benchmark:          b.Name,
+			HotPotatoMakespan:  hp.Makespan,
+			PCMigMakespan:      pc.Makespan,
+			NormalizedMakespan: hp.Makespan / pc.Makespan,
+			SpeedupPercent:     (pc.Makespan - hp.Makespan) / pc.Makespan * 100,
+			HotPotatoPeak:      hp.PeakTemp,
+			PCMigPeak:          pc.PeakTemp,
+			HotPotatoEnergy:    hp.EnergyJ,
+			PCMigEnergy:        pc.EnergyJ,
+		})
+	}
+	return rows, nil
+}
+
+// Fig4aAverageSpeedup returns the mean speedup across rows (the paper's
+// headline 10.72%).
+func Fig4aAverageSpeedup(rows []Fig4aRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.SpeedupPercent
+	}
+	return sum / float64(len(rows))
+}
+
+// Fig4bRow is one load level of the heterogeneous open-system comparison.
+type Fig4bRow struct {
+	ArrivalRate       float64 // tasks per second
+	HotPotatoResponse float64 // mean response time, seconds
+	PCMigResponse     float64
+	SpeedupPercent    float64
+}
+
+// Fig4b reproduces the heterogeneous evaluation: a random 20-benchmark
+// multi-program multi-threaded workload arrives as a Poisson process at each
+// of the given rates (an open system under varying load), and mean response
+// times of HotPotato and PCMig are compared. Deterministic for a fixed seed.
+func Fig4b(opts Options, rates []float64, taskCount int, seed int64) ([]Fig4bRow, error) {
+	opts = opts.withDefaults()
+	if taskCount <= 0 {
+		taskCount = 20
+	}
+	var rows []Fig4bRow
+	for _, rate := range rates {
+		specs, err := workload.RandomMix(taskCount, rate, seed)
+		if err != nil {
+			return nil, err
+		}
+		hp, pc, err := runPair(opts,
+			func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
+			func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
+			specs, sim.DefaultConfig())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig4b rate %.0f: %w", rate, err)
+		}
+		rows = append(rows, Fig4bRow{
+			ArrivalRate:       rate,
+			HotPotatoResponse: hp.AvgResponse,
+			PCMigResponse:     pc.AvgResponse,
+			SpeedupPercent:    (pc.AvgResponse - hp.AvgResponse) / pc.AvgResponse * 100,
+		})
+	}
+	return rows, nil
+}
+
+// DefaultFig4bRates spans under-loaded to over-loaded (tasks/second).
+func DefaultFig4bRates() []float64 { return []float64{25, 50, 100, 200, 400} }
+
+// Fig4bAggRow aggregates one load level over several workload seeds.
+type Fig4bAggRow struct {
+	ArrivalRate   float64
+	MeanSpeedup   float64 // percent
+	SpeedupCI95   float64 // ± half-width, percent
+	MeanHotPotato float64 // seconds
+	MeanPCMig     float64
+	Seeds         int
+}
+
+// Fig4bMultiSeed repeats the heterogeneous comparison over several random
+// workloads and reports mean speedup with a 95% confidence interval — the
+// statistically honest form of Fig. 4(b).
+func Fig4bMultiSeed(opts Options, rates []float64, taskCount int, seeds []int64) ([]Fig4bAggRow, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: need at least one seed")
+	}
+	perRate := make(map[float64][]Fig4bRow)
+	for _, seed := range seeds {
+		rows, err := Fig4b(opts, rates, taskCount, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			perRate[r.ArrivalRate] = append(perRate[r.ArrivalRate], r)
+		}
+	}
+	var out []Fig4bAggRow
+	for _, rate := range rates {
+		rows := perRate[rate]
+		speedups := make([]float64, len(rows))
+		hps := make([]float64, len(rows))
+		pcs := make([]float64, len(rows))
+		for i, r := range rows {
+			speedups[i] = r.SpeedupPercent
+			hps[i] = r.HotPotatoResponse
+			pcs[i] = r.PCMigResponse
+		}
+		out = append(out, Fig4bAggRow{
+			ArrivalRate:   rate,
+			MeanSpeedup:   stats.Mean(speedups),
+			SpeedupCI95:   stats.ConfidenceInterval95(speedups),
+			MeanHotPotato: stats.Mean(hps),
+			MeanPCMig:     stats.Mean(pcs),
+			Seeds:         len(seeds),
+		})
+	}
+	return out, nil
+}

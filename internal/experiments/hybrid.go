@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// HybridRow compares the three policies of the future-work experiment on one
+// benchmark.
+type HybridRow struct {
+	Benchmark string
+	// Makespans, seconds.
+	HotPotato float64
+	Hybrid    float64
+	PCMig     float64
+	// DTM throttling time, seconds.
+	HotPotatoDTM float64
+	HybridDTM    float64
+}
+
+// Hybrid runs the paper's §VII future work — synchronous rotation unified
+// with DVFS — against pure HotPotato and PCMig on hot full-load workloads.
+// The hybrid's promise: the thermal excursions pure rotation rides out via
+// hardware DTM are instead absorbed by a gentle frequency trim.
+func Hybrid(opts Options, benchmarks []string) ([]HybridRow, error) {
+	opts = opts.withDefaults()
+	total := opts.GridEdge * opts.GridEdge
+	var rows []HybridRow
+	for _, name := range benchmarks {
+		b, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		specs, err := workload.HomogeneousFullLoad(b, total, []int{2, 4, 8})
+		if err != nil {
+			return nil, err
+		}
+		row := HybridRow{Benchmark: name}
+		policies := []struct {
+			makespan *float64
+			dtm      *float64
+			mk       func(*sim.Platform) sim.Scheduler
+		}{
+			{&row.HotPotato, &row.HotPotatoDTM, func(p *sim.Platform) sim.Scheduler {
+				return sched.NewHotPotato(p, opts.TDTM)
+			}},
+			{&row.Hybrid, &row.HybridDTM, func(p *sim.Platform) sim.Scheduler {
+				return sched.NewHotPotatoDVFS(p, opts.TDTM)
+			}},
+			{&row.PCMig, new(float64), func(*sim.Platform) sim.Scheduler {
+				return sched.NewPCMig(opts.TDTM)
+			}},
+		}
+		for _, p := range policies {
+			res, err := runWorkload(opts, p.mk, specs, sim.DefaultConfig())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: hybrid %s: %w", name, err)
+			}
+			*p.makespan = res.Makespan
+			*p.dtm = res.DTMTime
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

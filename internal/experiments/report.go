@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTableI prints the platform parameters in the paper's Table I layout.
+func WriteTableI(w io.Writer, rows []TableIRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table I: Core parameters for simulated S-NUCA processor")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\n", r.Parameter, r.Value)
+	}
+	tw.Flush()
+}
+
+// WriteFig2 prints the motivational-example outcomes.
+func WriteFig2(w io.Writer, res *Fig2Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig. 2: two-threaded blackscholes on the 16-core chip (threshold 70 °C)")
+	fmt.Fprintln(tw, "policy\tresponse\tpeak temp\tbreaches 70 °C\tmigrations")
+	for _, p := range []Fig2Policy{res.None, res.TSP, res.Rotation} {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.1f °C\t%v\t%d\n",
+			p.Name, p.Response*1e3, p.PeakTemp, p.Breaches, p.Migrations)
+	}
+	tw.Flush()
+}
+
+// WriteFig4a prints the homogeneous full-load comparison.
+func WriteFig4a(w io.Writer, rows []Fig4aRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig. 4(a): homogeneous full load, 64-core chip (normalized makespan, PCMig = 1.0)")
+	fmt.Fprintln(tw, "benchmark\tHotPotato\tPCMig\tnormalized\tspeedup\tHP energy\tPCMig energy")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.1f ms\t%.3f\t%.2f%%\t%.1f J\t%.1f J\n",
+			r.Benchmark, r.HotPotatoMakespan*1e3, r.PCMigMakespan*1e3,
+			r.NormalizedMakespan, r.SpeedupPercent, r.HotPotatoEnergy, r.PCMigEnergy)
+	}
+	fmt.Fprintf(tw, "average speedup\t\t\t\t%.2f%%\n", Fig4aAverageSpeedup(rows))
+	tw.Flush()
+}
+
+// WriteFig4b prints the heterogeneous open-system comparison.
+func WriteFig4b(w io.Writer, rows []Fig4bRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig. 4(b): heterogeneous 20-task Poisson workload, 64-core chip")
+	fmt.Fprintln(tw, "arrival rate\tHotPotato resp\tPCMig resp\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f/s\t%.1f ms\t%.1f ms\t%.2f%%\n",
+			r.ArrivalRate, r.HotPotatoResponse*1e3, r.PCMigResponse*1e3, r.SpeedupPercent)
+	}
+	tw.Flush()
+}
+
+// WriteTauSweep prints the rotation-interval ablation.
+func WriteTauSweep(w io.Writer, rows []TauSweepRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: rotation interval τ (Fig. 2c scenario, DTM off)")
+	fmt.Fprintln(tw, "τ\tresponse\tpeak temp\tmigrations")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.3f ms\t%.1f ms\t%.2f °C\t%d\n",
+			r.Tau*1e3, r.Response*1e3, r.PeakTemp, r.Migrations)
+	}
+	tw.Flush()
+}
+
+// WriteRingScope prints the rotation-scope ablation.
+func WriteRingScope(w io.Writer, rows []RingScopeRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: rotation scope (memory-bound streamcluster)")
+	fmt.Fprintln(tw, "scope\tresponse\tpeak temp")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.2f °C\n", r.Scope, r.Response*1e3, r.PeakTemp)
+	}
+	tw.Flush()
+}
+
+// WriteMigrationCostSweep prints the migration-cost sensitivity ablation.
+func WriteMigrationCostSweep(w io.Writer, rows []MigrationCostRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: migration cost sensitivity (blackscholes full load)")
+	fmt.Fprintln(tw, "cost scale\tHotPotato\tPCMig\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.1f×\t%.1f ms\t%.1f ms\t%.2f%%\n",
+			r.CostScale, r.HotPotato*1e3, r.PCMig*1e3, r.SpeedupPercent)
+	}
+	tw.Flush()
+}
+
+// WriteAnalyticVsBrute prints the Algorithm 1 validation ablation.
+func WriteAnalyticVsBrute(w io.Writer, rows []AnalyticVsBruteRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: Algorithm 1 vs brute-force transient simulation")
+	fmt.Fprintln(tw, "δ\tanalytic peak\tbrute peak\tanalytic time\tbrute time\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.3f °C\t%.3f °C\t%v\t%v\t%.0f×\n",
+			r.Delta, r.AnalyticPeak, r.BrutePeak, r.AnalyticTime, r.BruteTime, r.SpeedupFactor)
+	}
+	tw.Flush()
+}
+
+// WriteHybrid prints the future-work (rotation+DVFS) comparison.
+func WriteHybrid(w io.Writer, rows []HybridRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Future work (§VII): synchronous rotation unified with DVFS")
+	fmt.Fprintln(tw, "benchmark\tHotPotato\thybrid\tPCMig\tHP DTM\thybrid DTM")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.1f ms\t%.1f ms\t%.1f ms\t%.1f ms\n",
+			r.Benchmark, r.HotPotato*1e3, r.Hybrid*1e3, r.PCMig*1e3,
+			r.HotPotatoDTM*1e3, r.HybridDTM*1e3)
+	}
+	tw.Flush()
+}
+
+// WriteFig4bMultiSeed prints the seed-aggregated heterogeneous comparison.
+func WriteFig4bMultiSeed(w io.Writer, rows []Fig4bAggRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig. 4(b), seed-aggregated: mean speedup ± 95% CI")
+	fmt.Fprintln(tw, "arrival rate\tHotPotato resp\tPCMig resp\tspeedup\tseeds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f/s\t%.1f ms\t%.1f ms\t%.2f%% ± %.2f\t%d\n",
+			r.ArrivalRate, r.MeanHotPotato*1e3, r.MeanPCMig*1e3,
+			r.MeanSpeedup, r.SpeedupCI95, r.Seeds)
+	}
+	tw.Flush()
+}
+
+// WriteThreeD prints the 3D-stack exploration.
+func WriteThreeD(w io.Writer, res *ThreeDResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Future work (§VII): 3D-stacked S-NUCA, 2×(4×4) chip, 9 W thread on the buried layer")
+	fmt.Fprintf(tw, "buried layer runs %.2f K hotter than the top layer at uniform power\n", res.BuriedHotter)
+	fmt.Fprintln(tw, "policy\tAlgorithm 1 peak")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%.2f °C\n", r.Policy, r.Peak)
+	}
+	tw.Flush()
+}
+
+// WriteHeterogeneity prints the platform-characterization table.
+func WriteHeterogeneity(w io.Writer, rows []HeterogeneityRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Platform characterization: S-NUCA placement gain and DVFS sensitivity [19]")
+	fmt.Fprintln(tw, "benchmark\tIPS centre\tIPS corner\tplacement gain\tslowdown at f/2")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.2f G/s\t%.2f G/s\t%.1f%%\t%.1f%%\n",
+			r.Benchmark, r.BestIPS/1e9, r.WorstIPS/1e9,
+			r.PlacementGainPercent, r.DVFSSlowdownPercent)
+	}
+	tw.Flush()
+}
+
+// WriteNoiseSweep prints the sensor-noise robustness ablation.
+func WriteNoiseSweep(w io.Writer, rows []NoiseSweepRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: thermal-sensor noise robustness (HotPotato, blackscholes full load)")
+	fmt.Fprintln(tw, "noise σ\tmakespan\tpeak temp\tDTM time")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.1f K\t%.1f ms\t%.2f °C\t%.1f ms\n",
+			r.NoiseStdDev, r.Makespan*1e3, r.PeakTemp, r.DTMTime*1e3)
+	}
+	tw.Flush()
+}
+
+// WriteHeadroomSweep prints the Δ headroom ablation.
+func WriteHeadroomSweep(w io.Writer, rows []HeadroomSweepRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: headroom Δ (HotPotato, blackscholes full load; paper default 1 °C)")
+	fmt.Fprintln(tw, "Δ\tmakespan\tpeak temp\tDTM events")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.1f K\t%.1f ms\t%.2f °C\t%d\n",
+			r.Delta, r.Makespan*1e3, r.PeakTemp, r.DTMEvents)
+	}
+	tw.Flush()
+}
+
+// WriteBaselines prints the cross-policy summary.
+func WriteBaselines(w io.Writer, bench string, rows []BaselineRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Policy ladder on %s full load (64 cores)\n", bench)
+	fmt.Fprintln(tw, "policy\tmakespan\tpeak\tDTM time\tmigrations\tenergy")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.2f °C\t%.1f ms\t%d\t%.1f J\n",
+			r.Policy, r.Makespan*1e3, r.PeakTemp, r.DTMTime*1e3, r.Migrations, r.EnergyJ)
+	}
+	tw.Flush()
+}
+
+// WriteContention prints the bandwidth-model ablation.
+func WriteContention(w io.Writer, rows []ContentionRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Ablation: NoC/bank contention model (memory-heavy full loads)")
+	fmt.Fprintln(tw, "benchmark\tHP (no cont.)\tHP (cont.)\tPCMig (cont.)\tspeedup\tcontention cost")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.1f ms\t%.1f ms\t%.1f ms\t%.2f%%\t%.1f%%\n",
+			r.Benchmark, r.HotPotatoOff*1e3, r.HotPotatoOn*1e3, r.PCMigOn*1e3,
+			r.SpeedupOnPercent, r.ContentionCostPct)
+	}
+	tw.Flush()
+}

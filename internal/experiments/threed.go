@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"repro/internal/floorplan"
+	"repro/internal/matrix"
+	"repro/internal/rotation"
+	"repro/internal/thermal"
+)
+
+// ThreeDRow is one policy of the 3D future-work exploration.
+type ThreeDRow struct {
+	Policy string
+	Peak   float64 // °C, Algorithm 1 steady-periodic peak
+}
+
+// ThreeDResult explores the paper's §VII 3D direction analytically on a
+// two-layer stacked 4×4 chip: a hot thread placed on the buried layer is
+// evaluated pinned, rotating horizontally within its layer's centre ring,
+// rotating vertically with the core stacked above it, and rotating through
+// both layers' centre rings.
+type ThreeDResult struct {
+	Rows         []ThreeDRow
+	BuriedHotter float64 // buried−top steady gap at uniform power, K
+}
+
+// ThreeD runs the 3D exploration.
+func ThreeD() (*ThreeDResult, error) {
+	fp := floorplan.MustNew(4, 4, 0.0009)
+	m, err := thermal.NewStacked(fp, thermal.DefaultStackedConfig(2))
+	if err != nil {
+		return nil, err
+	}
+	calc := rotation.NewCalculator(m)
+	const perLayer = 16
+
+	// Layer asymmetry at uniform 2 W.
+	uniform := matrix.Constant(32, 2)
+	ss := m.SteadyState(uniform)
+	gap := ss[thermal.StackedCoreID(0, 5, perLayer)] - ss[thermal.StackedCoreID(1, 5, perLayer)]
+
+	base := matrix.Constant(32, 0.3)
+	buried5 := thermal.StackedCoreID(0, 5, perLayer)
+	base[buried5] = 9
+
+	// Horizontal ring on the buried layer (centre cores 5,6,10,9).
+	horiz := []int{
+		thermal.StackedCoreID(0, 5, perLayer),
+		thermal.StackedCoreID(0, 6, perLayer),
+		thermal.StackedCoreID(0, 10, perLayer),
+		thermal.StackedCoreID(0, 9, perLayer),
+	}
+	// Vertical pair: buried core 5 and the core directly above.
+	vert := []int{buried5, thermal.StackedCoreID(1, 5, perLayer)}
+	// Both layers' centre rings (8 cores).
+	both := append(append([]int(nil), horiz...),
+		thermal.StackedCoreID(1, 5, perLayer),
+		thermal.StackedCoreID(1, 6, perLayer),
+		thermal.StackedCoreID(1, 10, perLayer),
+		thermal.StackedCoreID(1, 9, perLayer),
+	)
+
+	policies := []struct {
+		name string
+		plan rotation.Plan
+	}{
+		{"pinned buried", rotation.Plan{Tau: 0.5e-3, Powers: [][]float64{base}}},
+		{"horizontal ring (buried layer)", rotation.Rotate(0.5e-3, base, horiz)},
+		{"vertical pair", rotation.Rotate(0.5e-3, base, vert)},
+		{"both layers' rings", rotation.Rotate(0.5e-3, base, both)},
+	}
+
+	res := &ThreeDResult{BuriedHotter: gap}
+	for _, p := range policies {
+		peak, err := calc.PeakTemperature(p.plan)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, ThreeDRow{Policy: p.name, Peak: peak})
+	}
+	return res, nil
+}

@@ -1,0 +1,300 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewFromRows(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape: got %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 || m.At(1, 0) != 3 {
+		t.Fatalf("wrong contents:\n%v", m)
+	}
+}
+
+func TestNewFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged NewFromRows did not panic")
+		}
+	}()
+	NewFromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2.5)
+	if got := m.At(0, 1); got != 7.5 {
+		t.Fatalf("At(0,1) = %v, want 7.5", got)
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range At did not panic")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestIdentityAndDiagonal(t *testing.T) {
+	id := Identity(3)
+	d := Diagonal([]float64{1, 1, 1})
+	if !id.ApproxEqual(d, 0) {
+		t.Fatal("Identity(3) != Diagonal(ones)")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	c := m.Col(2)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col(2) = %v", c)
+	}
+	r[0] = -1
+	c[0] = -1
+	if m.At(1, 0) != 4 || m.At(0, 2) != 3 {
+		t.Fatal("Row/Col returned views, want copies")
+	}
+}
+
+func TestMulAgainstHandComputed(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	b := NewFromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := NewFromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("a*b =\n%vwant\n%v", got, want)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Mul did not panic")
+		}
+	}()
+	New(2, 3).Mul(New(2, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	got := a.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Fatalf("MulVec = %v, want [-2 -2]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("shape %dx%d", at.Rows(), at.Cols())
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("wrong transpose:\n%v", at)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := NewFromRows([][]float64{{3, -4}, {0, 0}})
+	if got := a.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Frobenius = %v, want 5", got)
+	}
+	if got := a.InfNorm(); got != 7 {
+		t.Errorf("InfNorm = %v, want 7", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s := NewFromRows([][]float64{{2, 1}, {1, 2}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	a := NewFromRows([][]float64{{2, 1}, {0, 2}})
+	if a.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if New(2, 3).IsSymmetric(1) {
+		t.Error("non-square matrix reported symmetric")
+	}
+}
+
+func randomDense(rng *rand.Rand, rows, cols int) *Dense {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// Property: (A*B)ᵀ = Bᵀ*Aᵀ.
+func TestPropTransposeOfProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		m := 1 + r.Intn(6)
+		k := 1 + r.Intn(6)
+		a := randomDense(r, n, m)
+		b := randomDense(r, m, k)
+		lhs := a.Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a.Transpose())
+		return lhs.ApproxEqual(rhs, 1e-10)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: matrix multiplication is associative.
+func TestPropMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := randomDense(r, n, n)
+		b := randomDense(r, n, n)
+		c := randomDense(r, n, n)
+		lhs := a.Mul(b).Mul(c)
+		rhs := a.Mul(b.Mul(c))
+		return lhs.ApproxEqual(rhs, 1e-8*(1+lhs.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distributivity A(B+C) = AB + AC.
+func TestPropMulDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		a := randomDense(r, n, n)
+		b := randomDense(r, n, n)
+		c := randomDense(r, n, n)
+		lhs := a.Mul(b.Plus(c))
+		rhs := a.Mul(b).Plus(a.Mul(c))
+		return lhs.ApproxEqual(rhs, 1e-9*(1+lhs.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MulVec agrees with Mul against a one-column matrix.
+func TestPropMulVecConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		m := 1 + r.Intn(7)
+		a := randomDense(r, n, m)
+		x := make([]float64, m)
+		xm := New(m, 1)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			xm.Set(i, 0, x[i])
+		}
+		y := a.MulVec(x)
+		ym := a.Mul(xm)
+		for i := range y {
+			if math.Abs(y[i]-ym.At(i, 0)) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledAndArithmetic(t *testing.T) {
+	a := NewFromRows([][]float64{{1, -2}, {0, 3}})
+	if got := a.Scaled(2).At(1, 1); got != 6 {
+		t.Errorf("Scaled: got %v", got)
+	}
+	sum := a.Plus(a.Scaled(-1))
+	if sum.MaxAbs() != 0 {
+		t.Errorf("a + (-a) != 0:\n%v", sum)
+	}
+	diff := a.Minus(a)
+	if diff.MaxAbs() != 0 {
+		t.Errorf("a - a != 0:\n%v", diff)
+	}
+}
+
+func TestStringRendersAllEntries(t *testing.T) {
+	s := NewFromRows([][]float64{{1.5, -2}, {0, 42}}).String()
+	for _, want := range []string{"1.5", "-2", "42"} {
+		if !containsStr(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && indexStr(haystack, needle) >= 0
+}
+
+func indexStr(haystack, needle string) int {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return i
+		}
+	}
+	return -1
+}

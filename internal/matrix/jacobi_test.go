@@ -1,0 +1,224 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	e, err := SymEigen(Diagonal([]float64{3, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3} // sorted ascending
+	if !VecApproxEqual(e.Values, want, 1e-12) {
+		t.Fatalf("values = %v, want %v", e.Values, want)
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	e, err := SymEigen(NewFromRows([][]float64{{2, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecApproxEqual(e.Values, []float64{1, 3}, 1e-12) {
+		t.Fatalf("values = %v, want [1 3]", e.Values)
+	}
+}
+
+func TestSymEigenRejectsAsymmetric(t *testing.T) {
+	if _, err := SymEigen(NewFromRows([][]float64{{1, 2}, {0, 1}})); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+}
+
+func TestSymEigenRejectsNonSquare(t *testing.T) {
+	if _, err := SymEigen(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func randomSymmetric(r *rand.Rand, n int) *Dense {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+// Property: A·v_k = λ_k·v_k for every eigenpair.
+func TestPropEigenpairsSatisfyDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := randomSymmetric(r, n)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			v := e.Vectors.Col(k)
+			av := a.MulVec(v)
+			lv := VecScale(e.Values[k], v)
+			if !VecApproxEqual(av, lv, 1e-8*(1+math.Abs(e.Values[k]))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvector matrix is orthonormal (VᵀV = I).
+func TestPropEigenvectorsOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := randomSymmetric(r, n)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		vtv := e.Vectors.Transpose().Mul(e.Vectors)
+		return vtv.ApproxEqual(Identity(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reconstruction V·diag(λ)·Vᵀ = A.
+func TestPropEigenReconstruction(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := randomSymmetric(r, n)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		rec := e.Vectors.Mul(Diagonal(e.Values)).Mul(e.Vectors.Transpose())
+		return rec.ApproxEqual(a, 1e-8*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: trace(A) = Σλ and eigenvalues sorted ascending.
+func TestPropEigenTraceAndOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := randomSymmetric(r, n)
+		e, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+			sum += e.Values[i]
+		}
+		if math.Abs(trace-sum) > 1e-8*(1+math.Abs(trace)) {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if e.Values[i] < e.Values[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSPD(r *rand.Rand, n int) *Dense {
+	// Laplacian-like SPD matrix: diagonally dominant with negative couplings,
+	// the structure a thermal conductance matrix has.
+	b := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < 0.5 {
+				g := r.Float64() + 0.1
+				b.Add(i, j, -g)
+				b.Add(j, i, -g)
+				b.Add(i, i, g)
+				b.Add(j, j, g)
+			}
+		}
+		b.Add(i, i, r.Float64()+0.05) // conductance to ambient keeps it PD
+	}
+	return b
+}
+
+func TestSymDefEigenDimensionChecks(t *testing.T) {
+	if _, err := SymDefEigen([]float64{1, 2}, New(3, 3)); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+	if _, err := SymDefEigen([]float64{1, -1}, randomSPD(rand.New(rand.NewSource(1)), 2)); err == nil {
+		t.Fatal("expected error for non-positive diagonal")
+	}
+}
+
+// Property: SymDefEigen factors A⁻¹B, i.e. A⁻¹B·V = V·diag(λ), V·V⁻¹ = I,
+// and with SPD B all eigenvalues are positive.
+func TestPropSymDefEigenFactorization(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		aDiag := make([]float64, n)
+		for i := range aDiag {
+			aDiag[i] = 0.1 + r.Float64()*5
+		}
+		b := randomSPD(r, n)
+		ge, err := SymDefEigen(aDiag, b)
+		if err != nil {
+			return false
+		}
+		// All eigenvalues positive.
+		for _, l := range ge.Lambda {
+			if l <= 0 {
+				return false
+			}
+		}
+		// V·V⁻¹ = I.
+		if !ge.V.Mul(ge.VInv).ApproxEqual(Identity(n), 1e-8) {
+			return false
+		}
+		// A⁻¹B = V·diag(λ)·V⁻¹.
+		ainvB := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ainvB.Set(i, j, b.At(i, j)/aDiag[i])
+			}
+		}
+		rec := ge.V.Mul(Diagonal(ge.Lambda)).Mul(ge.VInv)
+		return rec.ApproxEqual(ainvB, 1e-7*(1+ainvB.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSymEigen129(b *testing.B) {
+	r := rand.New(rand.NewSource(11))
+	a := randomSymmetric(r, 129)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SymEigen(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	if !VecApproxEqual(x, want, 1e-10) {
+		t.Fatalf("x = %v, want %v", x, want)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for singular matrix")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square LU")
+	}
+}
+
+func TestInverseIdentity(t *testing.T) {
+	inv, err := Inverse(Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inv.ApproxEqual(Identity(4), 1e-12) {
+		t.Fatalf("Identity⁻¹ != Identity:\n%v", inv)
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	a := NewFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewFromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	if !inv.ApproxEqual(want, 1e-12) {
+		t.Fatalf("inverse =\n%vwant\n%v", inv, want)
+	}
+}
+
+func TestDeterminant(t *testing.T) {
+	cases := []struct {
+		m    *Dense
+		want float64
+	}{
+		{Identity(3), 1},
+		{NewFromRows([][]float64{{2, 0}, {0, 3}}), 6},
+		{NewFromRows([][]float64{{0, 1}, {1, 0}}), -1}, // forces a pivot swap
+		{NewFromRows([][]float64{{1, 2}, {3, 4}}), -2},
+	}
+	for i, c := range cases {
+		f, err := FactorLU(c.m)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := f.Determinant(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: det = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSolveVecWrongLength(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SolveVec([]float64{1, 2}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestSolveMatrixWrongRows(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve(New(2, 2)); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+// Property: A * A⁻¹ = I for random well-conditioned matrices.
+func TestPropInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randomDense(r, n, n)
+		// Make diagonally dominant so the matrix is well conditioned.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).ApproxEqual(Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Solve(a, a*x) recovers x.
+func TestPropSolveRecoversX(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomDense(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return VecApproxEqual(got, x, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(A·B) = det(A)·det(B).
+func TestPropDeterminantMultiplicative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomDense(r, n, n)
+		b := randomDense(r, n, n)
+		fa, errA := FactorLU(a)
+		fb, errB := FactorLU(b)
+		fab, errAB := FactorLU(a.Mul(b))
+		if errA != nil || errB != nil || errAB != nil {
+			return true // singular draw; property vacuous
+		}
+		lhs := fab.Determinant()
+		rhs := fa.Determinant() * fb.Determinant()
+		scale := math.Max(1, math.Abs(lhs))
+		return math.Abs(lhs-rhs) < 1e-8*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInverse129(b *testing.B) {
+	// 129 nodes = 64 cores × 2 layers + 1 sink: the size used by the
+	// 64-core thermal model.
+	r := rand.New(rand.NewSource(7))
+	n := 129
+	a := randomDense(r, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Inverse(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector helpers. The thermal code passes temperatures and powers around as
+// plain []float64; these functions keep that code terse without allocating a
+// wrapper type.
+
+// VecAdd returns a + b.
+func VecAdd(a, b []float64) []float64 {
+	checkLen(a, b)
+	c := make([]float64, len(a))
+	for i := range a {
+		c[i] = a[i] + b[i]
+	}
+	return c
+}
+
+// VecSub returns a - b.
+func VecSub(a, b []float64) []float64 {
+	checkLen(a, b)
+	c := make([]float64, len(a))
+	for i := range a {
+		c[i] = a[i] - b[i]
+	}
+	return c
+}
+
+// VecScale returns s*a.
+func VecScale(s float64, a []float64) []float64 {
+	c := make([]float64, len(a))
+	for i := range a {
+		c[i] = s * a[i]
+	}
+	return c
+}
+
+// VecAddTo accumulates dst += a in place.
+func VecAddTo(dst, a []float64) {
+	checkLen(dst, a)
+	for i := range dst {
+		dst[i] += a[i]
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// VecMax returns the largest element of a. It panics on an empty slice.
+func VecMax(a []float64) float64 {
+	if len(a) == 0 {
+		panic("matrix: VecMax of empty vector")
+	}
+	max := a[0]
+	for _, v := range a[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// VecMaxIndex returns the index of the largest element of a.
+func VecMaxIndex(a []float64) int {
+	if len(a) == 0 {
+		panic("matrix: VecMaxIndex of empty vector")
+	}
+	idx := 0
+	for i, v := range a {
+		if v > a[idx] {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// VecNormInf returns the infinity norm of a.
+func VecNormInf(a []float64) float64 {
+	var max float64
+	for _, v := range a {
+		if x := math.Abs(v); x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// VecNorm2 returns the Euclidean norm of a.
+func VecNorm2(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// VecApproxEqual reports whether a and b agree elementwise within tol.
+func VecApproxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Constant returns a length-n vector with every element v.
+func Constant(n int, v float64) []float64 {
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = v
+	}
+	return c
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: vector length mismatch %d vs %d", len(a), len(b)))
+	}
+}

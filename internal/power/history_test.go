@@ -1,0 +1,149 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistoryValidation(t *testing.T) {
+	if _, err := NewHistory(0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewHistory(-1); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestEmptyHistoryUsesFallback(t *testing.T) {
+	h, err := NewHistory(DefaultWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Average(4.2); got != 4.2 {
+		t.Errorf("empty Average = %v, want fallback", got)
+	}
+	if h.Span() != 0 {
+		t.Errorf("empty Span = %v", h.Span())
+	}
+}
+
+func TestAverageTimeWeighted(t *testing.T) {
+	h, _ := NewHistory(10e-3)
+	h.Record(6e-3, 2) // 6 ms at 2 W
+	h.Record(2e-3, 8) // 2 ms at 8 W
+	want := (6e-3*2 + 2e-3*8) / 8e-3
+	if got := h.Average(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Average = %v, want %v", got, want)
+	}
+	if math.Abs(h.Span()-8e-3) > 1e-15 {
+		t.Errorf("Span = %v", h.Span())
+	}
+}
+
+func TestEvictionBeyondWindow(t *testing.T) {
+	h, _ := NewHistory(10e-3)
+	h.Record(10e-3, 10) // fills the window
+	h.Record(10e-3, 2)  // fully displaces the first sample
+	if got := h.Average(0); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Average = %v, want 2 after full displacement", got)
+	}
+}
+
+func TestPartialEvictionTrimsBoundarySample(t *testing.T) {
+	h, _ := NewHistory(10e-3)
+	h.Record(8e-3, 0)
+	h.Record(4e-3, 6)
+	// Window now holds 6 ms of the 0 W sample and 4 ms of the 6 W sample.
+	want := (6e-3*0 + 4e-3*6) / 10e-3
+	if got := h.Average(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Average = %v, want %v", got, want)
+	}
+	if math.Abs(h.Span()-10e-3) > 1e-15 {
+		t.Errorf("Span = %v, want full window", h.Span())
+	}
+}
+
+func TestZeroDurationIgnored(t *testing.T) {
+	h, _ := NewHistory(10e-3)
+	h.Record(0, 100)
+	h.Record(-1e-3, 100)
+	if got := h.Average(1); got != 1 {
+		t.Errorf("Average = %v, want fallback (nothing recorded)", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h, _ := NewHistory(10e-3)
+	h.Record(5e-3, 3)
+	h.Reset()
+	if h.Span() != 0 || h.Average(7) != 7 {
+		t.Error("Reset did not clear the history")
+	}
+}
+
+// Property: Average lies within [min, max] of the recorded sample powers.
+func TestPropAverageBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, err := NewHistory(10e-3)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		n := 1 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			w := r.Float64() * 10
+			h.Record(r.Float64()*3e-3, w)
+			if w < lo {
+				lo = w
+			}
+			if w > hi {
+				hi = w
+			}
+		}
+		avg := h.Average(0)
+		return avg >= lo-1e-9 && avg <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: span never exceeds the window.
+func TestPropSpanBoundedByWindow(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, err := NewHistory(5e-3)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			h.Record(r.Float64()*2e-3, r.Float64()*10)
+		}
+		return h.Span() <= 5e-3+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: constant-power recording always averages to that power.
+func TestPropConstantPowerAverage(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h, err := NewHistory(10e-3)
+		if err != nil {
+			return false
+		}
+		w := r.Float64() * 12
+		for i := 0; i < 25; i++ {
+			h.Record(r.Float64()*2e-3+1e-6, w)
+		}
+		return math.Abs(h.Average(0)-w) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

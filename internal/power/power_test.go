@@ -1,0 +1,211 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultDVFSValid(t *testing.T) {
+	if err := DefaultDVFS().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDVFSValidation(t *testing.T) {
+	bad := []DVFS{
+		{FMin: 0, FMax: 4e9, FStep: 1e8, VMin: 0.7, VMax: 1},
+		{FMin: 1e9, FMax: 4e9, FStep: 0, VMin: 0.7, VMax: 1},
+		{FMin: 5e9, FMax: 4e9, FStep: 1e8, VMin: 0.7, VMax: 1},
+		{FMin: 1e9, FMax: 4e9, FStep: 1e8, VMin: 0, VMax: 1},
+		{FMin: 1e9, FMax: 4e9, FStep: 1e8, VMin: 1.0, VMax: 0.7},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid ladder accepted", i)
+		}
+	}
+}
+
+func TestLevelsCount(t *testing.T) {
+	// 1.0 to 4.0 GHz in 100 MHz steps = 31 levels (paper §VI: PCMig DVFS at
+	// 100 MHz granularity).
+	levels := DefaultDVFS().Levels()
+	if len(levels) != 31 {
+		t.Fatalf("levels = %d, want 31", len(levels))
+	}
+	if levels[0] != 1.0e9 || math.Abs(levels[30]-4.0e9) > 1 {
+		t.Errorf("endpoints = %v, %v", levels[0], levels[30])
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			t.Fatal("levels not ascending")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	d := DefaultDVFS()
+	cases := []struct{ in, want float64 }{
+		{0.5e9, 1.0e9},   // below range
+		{5e9, 4.0e9},     // above range
+		{2.0e9, 2.0e9},   // exact level
+		{2.349e9, 2.3e9}, // rounds down
+		{1.0e9, 1.0e9},
+		{4.0e9, 4.0e9},
+	}
+	for _, c := range cases {
+		if got := d.Clamp(c.in); math.Abs(got-c.want) > 1e3 {
+			t.Errorf("Clamp(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepUpDown(t *testing.T) {
+	d := DefaultDVFS()
+	if got := d.StepDown(2.0e9); math.Abs(got-1.9e9) > 1e3 {
+		t.Errorf("StepDown(2.0) = %g", got)
+	}
+	if got := d.StepDown(1.0e9); got != 1.0e9 {
+		t.Errorf("StepDown(min) = %g, want min", got)
+	}
+	if got := d.StepUp(3.95e9); got != 4.0e9 {
+		t.Errorf("StepUp(near max) = %g, want max", got)
+	}
+	if got := d.StepUp(1.0e9); math.Abs(got-1.1e9) > 1e3 {
+		t.Errorf("StepUp(min) = %g", got)
+	}
+}
+
+func TestVoltageEndpoints(t *testing.T) {
+	d := DefaultDVFS()
+	if got := d.VoltageAt(1.0e9); got != 0.70 {
+		t.Errorf("V(fmin) = %v", got)
+	}
+	if got := d.VoltageAt(4.0e9); got != 1.00 {
+		t.Errorf("V(fmax) = %v", got)
+	}
+	if got := d.VoltageAt(2.5e9); got != 0.85 {
+		t.Errorf("V(midpoint) = %v, want 0.85", got)
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(DVFS{}, 0.3, 1, 0.8); err == nil {
+		t.Error("invalid ladder accepted")
+	}
+	if _, err := NewModel(DefaultDVFS(), -1, 1, 0.8); err == nil {
+		t.Error("negative idle accepted")
+	}
+	if _, err := NewModel(DefaultDVFS(), 0.5, 0.3, 0.8); err == nil {
+		t.Error("stall < idle accepted")
+	}
+	if _, err := NewModel(DefaultDVFS(), 0.3, 1, 1.5); err == nil {
+		t.Error("dyn fraction > 1 accepted")
+	}
+}
+
+func TestActivePowerAtFMaxIsNominal(t *testing.T) {
+	m := DefaultModel()
+	if got := m.ActivePower(8, 4.0e9); math.Abs(got-8) > 1e-9 {
+		t.Errorf("P(fmax) = %v, want nominal 8", got)
+	}
+}
+
+func TestActivePowerDVFSSavings(t *testing.T) {
+	// Halving frequency must save substantially more than half the dynamic
+	// power (voltage drops too), but leakage persists.
+	m := DefaultModel()
+	p4 := m.ActivePower(8, 4.0e9)
+	p2 := m.ActivePower(8, 2.0e9)
+	if p2 >= 0.55*p4 {
+		t.Errorf("P(2GHz)=%v not well below P(4GHz)=%v", p2, p4)
+	}
+	if p2 <= 0.2*p4 {
+		t.Errorf("P(2GHz)=%v implausibly low (leakage floor missing)", p2)
+	}
+}
+
+func TestIntervalPowerBlends(t *testing.T) {
+	m := DefaultModel()
+	full := m.IntervalPower(8, 4.0e9, 1, 0)
+	idle := m.IntervalPower(8, 4.0e9, 0, 0)
+	stall := m.IntervalPower(8, 4.0e9, 0, 1)
+	if math.Abs(full-8) > 1e-9 {
+		t.Errorf("fully busy = %v", full)
+	}
+	if idle != m.IdleWatts {
+		t.Errorf("fully idle = %v, want %v", idle, m.IdleWatts)
+	}
+	if stall != m.StallWatts {
+		t.Errorf("fully stalled = %v, want %v", stall, m.StallWatts)
+	}
+	half := m.IntervalPower(8, 4.0e9, 0.5, 0.25)
+	want := 0.5*8 + 0.25*m.StallWatts + 0.25*m.IdleWatts
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("blend = %v, want %v", half, want)
+	}
+}
+
+func TestIntervalPowerPanicsOnBadFractions(t *testing.T) {
+	m := DefaultModel()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for fractions > 1")
+		}
+	}()
+	m.IntervalPower(8, 4e9, 0.8, 0.5)
+}
+
+// Property: active power is monotone nondecreasing in frequency.
+func TestPropActivePowerMonotoneInF(t *testing.T) {
+	m := DefaultModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nominal := 1 + r.Float64()*10
+		f1 := 1e9 + r.Float64()*3e9
+		f2 := f1 + r.Float64()*(4e9-f1)
+		return m.ActivePower(nominal, f2) >= m.ActivePower(nominal, f1)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: power is linear in nominal watts at fixed frequency.
+func TestPropActivePowerLinearInNominal(t *testing.T) {
+	m := DefaultModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nominal := 1 + r.Float64()*10
+		freq := 1e9 + r.Float64()*3e9
+		lhs := m.ActivePower(2*nominal, freq)
+		rhs := 2 * m.ActivePower(nominal, freq)
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp always lands on a ladder level.
+func TestPropClampOnLadder(t *testing.T) {
+	d := DefaultDVFS()
+	levels := d.Levels()
+	onLadder := func(f float64) bool {
+		for _, l := range levels {
+			if math.Abs(l-f) < 1 {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		return onLadder(d.Clamp(r.Float64() * 6e9))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

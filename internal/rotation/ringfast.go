@@ -1,0 +1,143 @@
+package rotation
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// RingEvaluator is the run-time-optimised form of Algorithm 1 for the
+// schedule shapes HotPotato actually evaluates: a constant background power
+// field plus one ring whose slot powers rotate. Exploiting linearity, the
+// background is folded into the eigenspace once, and each epoch's deviation
+// touches only the ring's cores — O(N·size) per epoch instead of O(N²).
+//
+// Build it once per thermal model (it precomputes W = V⁻¹B⁻¹ and the core
+// rows of V — the design-time α/β constants of Algorithm 1) and reuse it for
+// every evaluation.
+type RingEvaluator struct {
+	c *Calculator
+	// wT[j] is the j-th core's power-to-eigenspace column of W = V⁻¹B⁻¹,
+	// stored row-major for fast accumulation: n×N.
+	wT *matrix.Dense
+	// vCore is the core-row block of V: n×N (maps eigenspace back to core
+	// temperatures only).
+	vCore *matrix.Dense
+}
+
+// NewRingEvaluator precomputes the design-time constants.
+func (c *Calculator) NewRingEvaluator() *RingEvaluator {
+	N := c.nNodes
+	n := c.n
+	wFull := c.vinv.Mul(c.binv) // N×N; power only enters at core nodes
+	wT := matrix.New(n, N)
+	for j := 0; j < n; j++ {
+		for k := 0; k < N; k++ {
+			wT.Set(j, k, wFull.At(k, j))
+		}
+	}
+	vCore := matrix.New(n, N)
+	for i := 0; i < n; i++ {
+		for k := 0; k < N; k++ {
+			vCore.Set(i, k, c.v.At(i, k))
+		}
+	}
+	return &RingEvaluator{c: c, wT: wT, vCore: vCore}
+}
+
+// PeakRingRotation returns the steady-periodic peak core temperature (°C) of
+// the schedule: every core holds base[core] watts except the ring cores,
+// where slot i's power slotWatts[i] executes on ringCores[(i+e) mod size]
+// during epoch e. The rotation period is δ = len(ringCores) epochs of τ
+// seconds.
+func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores []int, slotWatts []float64) (float64, error) {
+	c := e.c
+	n := c.n
+	N := c.nNodes
+	size := len(ringCores)
+	if tau <= 0 {
+		return 0, fmt.Errorf("rotation: epoch length τ must be positive, got %g", tau)
+	}
+	if len(base) != n {
+		return 0, fmt.Errorf("rotation: base power has %d cores, want %d", len(base), n)
+	}
+	if size == 0 {
+		return 0, fmt.Errorf("rotation: empty ring")
+	}
+	if len(slotWatts) != size {
+		return 0, fmt.Errorf("rotation: %d slot powers for ring of %d cores", len(slotWatts), size)
+	}
+	for _, cr := range ringCores {
+		if cr < 0 || cr >= n {
+			return 0, fmt.Errorf("rotation: ring core %d out of range", cr)
+		}
+	}
+
+	decay := make([]float64, N)
+	for k, l := range c.lambda {
+		decay[k] = math.Exp(-l * tau)
+	}
+
+	// Background image in eigenspace: yBase = W·P_base. W's rows are the
+	// transposed columns in wT, so accumulate column-wise.
+	yBase := make([]float64, N)
+	for j := 0; j < n; j++ {
+		w := base[j]
+		if w == 0 {
+			continue
+		}
+		row := e.wT.RowView(j)
+		for k := 0; k < N; k++ {
+			yBase[k] += w * row[k]
+		}
+	}
+
+	// Per-epoch deviation images: only the ring's cores differ from base.
+	y := make([][]float64, size)
+	for ep := 0; ep < size; ep++ {
+		ye := append([]float64(nil), yBase...)
+		for i, watts := range slotWatts {
+			core := ringCores[(i+ep)%size]
+			d := watts - base[core]
+			if d == 0 {
+				continue
+			}
+			row := e.wT.RowView(core)
+			for k := 0; k < N; k++ {
+				ye[k] += d * row[k]
+			}
+		}
+		y[ep] = ye
+	}
+
+	// Horner accumulation of the periodic forcing, then the fixed point
+	// (the geometric-series closed form of Eqs. 9–10).
+	z := make([]float64, N)
+	for ep := 0; ep < size; ep++ {
+		for k := 0; k < N; k++ {
+			z[k] = decay[k]*z[k] + (1-decay[k])*y[ep][k]
+		}
+	}
+	u := make([]float64, N)
+	for k := 0; k < N; k++ {
+		denom := 1 - math.Exp(-c.lambda[k]*tau*float64(size))
+		if denom <= 0 {
+			return 0, fmt.Errorf("rotation: non-decaying eigenmode %d", k)
+		}
+		u[k] = z[k] / denom
+	}
+
+	// Walk one period; track the hottest core at epoch boundaries (Eq. 11).
+	ambient := c.m.Ambient()
+	peak := math.Inf(-1)
+	for ep := 0; ep < size; ep++ {
+		for k := 0; k < N; k++ {
+			u[k] = decay[k]*u[k] + (1-decay[k])*y[ep][k]
+		}
+		if t := matrix.VecMax(e.vCore.MulVec(u)); t > peak {
+			peak = t
+		}
+	}
+	return peak + ambient, nil
+}

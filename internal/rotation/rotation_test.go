@@ -1,0 +1,418 @@
+package rotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+	"repro/internal/matrix"
+	"repro/internal/thermal"
+)
+
+// fastConfig shrinks all capacitances 100× so that brute-force transient
+// simulation reaches the periodic steady state within a few dozen periods.
+// Steady states (and thus the analytic math) are unchanged — only the time
+// constants compress.
+func fastConfig() thermal.Config {
+	cfg := thermal.DefaultConfig()
+	cfg.SiCapacitance /= 100
+	cfg.SpCapacitance /= 100
+	cfg.SinkCapacitancePerCore /= 100
+	return cfg
+}
+
+func newCalc(t testing.TB, w, h int, cfg thermal.Config) *Calculator {
+	t.Helper()
+	m, err := thermal.New(floorplan.MustNew(w, h, 0.0009), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCalculator(m)
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := Plan{Tau: 0.5e-3, Powers: [][]float64{{1, 2, 3, 4}}}
+	if err := good.Validate(4); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Tau: 0, Powers: [][]float64{{1, 2, 3, 4}}},
+		{Tau: 1e-3, Powers: nil},
+		{Tau: 1e-3, Powers: [][]float64{{1, 2}}},
+		{Tau: 1e-3, Powers: [][]float64{{1, 2, 3, -1}}},
+		{Tau: 1e-3, Powers: [][]float64{{1, 2, 3, math.NaN()}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(4); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestRotateBuildsPermutations(t *testing.T) {
+	base := []float64{0.3, 0.3, 0.3, 0.3, 0.3, 9, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3, 0.3}
+	cores := []int{5, 6, 10, 9} // ring-walk order
+	plan := Rotate(0.5e-3, base, cores)
+	if plan.Delta() != 4 {
+		t.Fatalf("delta = %d, want 4", plan.Delta())
+	}
+	// Epoch 0 is the base assignment.
+	if !matrix.VecApproxEqual(plan.Powers[0], base, 0) {
+		t.Errorf("epoch 0 = %v, want base", plan.Powers[0])
+	}
+	// The 9 W thread visits each ring core exactly once across the period.
+	visited := map[int]bool{}
+	for e := 0; e < 4; e++ {
+		found := -1
+		for _, c := range cores {
+			if plan.Powers[e][c] == 9 {
+				if found >= 0 {
+					t.Fatalf("epoch %d: hot thread on two cores", e)
+				}
+				found = c
+			}
+		}
+		if found < 0 {
+			t.Fatalf("epoch %d: hot thread vanished", e)
+		}
+		visited[found] = true
+	}
+	if len(visited) != 4 {
+		t.Errorf("hot thread visited %d distinct cores, want 4", len(visited))
+	}
+	// Total power per epoch is conserved under rotation.
+	want := 0.0
+	for _, v := range base {
+		want += v
+	}
+	for e := 0; e < 4; e++ {
+		got := 0.0
+		for _, v := range plan.Powers[e] {
+			got += v
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("epoch %d total power %v, want %v", e, got, want)
+		}
+	}
+}
+
+func TestSingleEpochPlanEqualsSteadyState(t *testing.T) {
+	// With δ=1 the periodic steady state is the ordinary steady state.
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	p := matrix.Constant(16, 0.3)
+	p[5] = 8
+	res, err := c.Evaluate(Plan{Tau: 0.5e-3, Powers: [][]float64{p}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := c.Model().SteadyState(p)
+	if !matrix.VecApproxEqual(res.EpochEnd[0], ss, 1e-6) {
+		t.Fatal("δ=1 periodic state differs from steady state")
+	}
+	if math.Abs(res.Peak-c.Model().MaxCoreTemp(ss)) > 1e-6 {
+		t.Fatalf("peak %v vs steady max %v", res.Peak, c.Model().MaxCoreTemp(ss))
+	}
+	if res.PeakCore != 5 {
+		t.Errorf("peak core = %d, want 5", res.PeakCore)
+	}
+}
+
+func TestUniformRotationMatchesConstantPower(t *testing.T) {
+	// Rotating identical power vectors is the same as holding them constant.
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	p := matrix.Constant(16, 2.5)
+	plan := Plan{Tau: 1e-3, Powers: [][]float64{p, p, p, p}}
+	res, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := c.Model().SteadyState(p)
+	for e := 0; e < 4; e++ {
+		if !matrix.VecApproxEqual(res.EpochEnd[e], ss, 1e-6) {
+			t.Fatalf("epoch %d differs from steady state", e)
+		}
+	}
+}
+
+func TestStartIsPeriodicFixedPoint(t *testing.T) {
+	// Advancing exactly one period from Result.Start must return to Start.
+	// The stepper is exact for per-epoch constant power, so this checks the
+	// fixed-point equation behind Eq. 10 directly.
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5], base[10] = 9, 7
+	plan := Rotate(0.5e-3, base, []int{5, 6, 10, 9})
+	res, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepper, err := c.Model().NewStepper(plan.Tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := append([]float64(nil), res.Start...)
+	for e := 0; e < plan.Delta(); e++ {
+		tv = stepper.Step(tv, plan.Powers[e])
+	}
+	if !matrix.VecApproxEqual(tv, res.Start, 1e-6) {
+		t.Fatal("one period from Start does not return to Start")
+	}
+}
+
+func TestRotationPeakBetweenAverageAndStatic(t *testing.T) {
+	// Rotation averages hot and cold cores: its peak lies above the steady
+	// peak of the time-averaged power, but below the steady peak of pinning
+	// the hot thread (τ→∞ limit).
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5] = 9
+	cores := []int{5, 6, 10, 9}
+	plan := Rotate(0.5e-3, base, cores)
+	res, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticPeak := c.Model().MaxCoreTemp(c.Model().SteadyState(base))
+	avg := append([]float64(nil), base...)
+	mean := (9 + 3*0.3) / 4
+	for _, cr := range cores {
+		avg[cr] = mean
+	}
+	avgPeak := c.Model().MaxCoreTemp(c.Model().SteadyState(avg))
+	if res.Peak <= avgPeak {
+		t.Errorf("rotation peak %.2f not above averaged-power peak %.2f", res.Peak, avgPeak)
+	}
+	if res.Peak >= staticPeak {
+		t.Errorf("rotation peak %.2f not below static peak %.2f", res.Peak, staticPeak)
+	}
+}
+
+func TestFasterRotationLowersPeak(t *testing.T) {
+	// Shrinking τ moves the peak toward the spatial average (paper Alg. 2
+	// uses this as its pressure-release valve).
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5] = 9
+	cores := []int{5, 6, 10, 9}
+	var prev float64 = math.Inf(1)
+	for _, tau := range []float64{4e-3, 1e-3, 0.25e-3} {
+		peak, err := c.PeakTemperature(Rotate(tau, base, cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak >= prev {
+			t.Errorf("τ=%v: peak %.3f not lower than previous %.3f", tau, peak, prev)
+		}
+		prev = peak
+	}
+}
+
+func TestAnalyticMatchesBruteForce(t *testing.T) {
+	// The headline correctness check: Algorithm 1's closed form equals
+	// explicit transient simulation once that simulation has converged.
+	c := newCalc(t, 3, 3, fastConfig())
+	base := matrix.Constant(9, 0.3)
+	base[4] = 8 // centre core hot
+	plan := Rotate(1e-3, base, []int{4, 1, 3, 5, 7})
+	analytic, err := c.PeakTemperature(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := c.BruteForcePeak(plan, 60, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(analytic-brute) > 0.05 {
+		t.Fatalf("analytic %.4f vs brute force %.4f", analytic, brute)
+	}
+}
+
+// Property: analytic and brute-force peaks agree for random plans.
+func TestPropAnalyticMatchesBruteForceRandom(t *testing.T) {
+	m, err := thermal.New(floorplan.MustNew(2, 2, 0.0009), fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCalculator(m)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		delta := 1 + r.Intn(5)
+		powers := make([][]float64, delta)
+		for e := range powers {
+			p := make([]float64, 4)
+			for i := range p {
+				p[i] = r.Float64() * 8
+			}
+			powers[e] = p
+		}
+		plan := Plan{Tau: (0.5 + r.Float64()) * 1e-3, Powers: powers}
+		analytic, err := c.PeakTemperature(plan)
+		if err != nil {
+			return false
+		}
+		// Simulate ≥ 200 ms so the slowest (sink) mode converges regardless
+		// of how short the random plan's period is.
+		periods := int(0.2/(plan.Tau*float64(delta))) + 1
+		brute, err := c.BruteForcePeak(plan, periods, 3)
+		if err != nil {
+			return false
+		}
+		return math.Abs(analytic-brute) < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: peak minus ambient scales linearly with power (the model is LTI).
+func TestPropPeakLinearInPower(t *testing.T) {
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	amb := c.Model().Ambient()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := make([]float64, 16)
+		for i := range base {
+			base[i] = r.Float64() * 5
+		}
+		plan := Rotate(1e-3, base, []int{5, 6, 10, 9})
+		p1, err := c.PeakTemperature(plan)
+		if err != nil {
+			return false
+		}
+		scaled := Plan{Tau: plan.Tau, Powers: make([][]float64, plan.Delta())}
+		for e := range plan.Powers {
+			scaled.Powers[e] = matrix.VecScale(2, plan.Powers[e])
+		}
+		p2, err := c.PeakTemperature(scaled)
+		if err != nil {
+			return false
+		}
+		// Peak core may shift, but with the same spatial pattern scaled it
+		// does not: rise doubles.
+		return math.Abs((p2-amb)-2*(p1-amb)) < 1e-6*(1+p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvaluateRejectsBadPlans(t *testing.T) {
+	c := newCalc(t, 2, 2, thermal.DefaultConfig())
+	if _, err := c.Evaluate(Plan{Tau: -1, Powers: [][]float64{{1, 1, 1, 1}}}); err == nil {
+		t.Error("negative τ accepted")
+	}
+	if _, err := c.PeakTemperature(Plan{Tau: 1e-3, Powers: [][]float64{{1}}}); err == nil {
+		t.Error("wrong-width plan accepted")
+	}
+	if _, err := c.BruteForcePeak(Plan{Tau: 1e-3, Powers: [][]float64{{1, 1, 1, 1}}}, 0, 4); err == nil {
+		t.Error("zero periods accepted")
+	}
+}
+
+func TestEvaluateDetailedFields(t *testing.T) {
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5] = 9
+	plan := Rotate(0.5e-3, base, []int{5, 6, 10, 9})
+	res, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EpochEnd) != plan.Delta() {
+		t.Fatalf("EpochEnd length %d, want %d", len(res.EpochEnd), plan.Delta())
+	}
+	if res.PeakEpoch < 0 || res.PeakEpoch >= plan.Delta() {
+		t.Errorf("PeakEpoch = %d out of range", res.PeakEpoch)
+	}
+	if res.PeakCore < 0 || res.PeakCore >= 16 {
+		t.Errorf("PeakCore = %d out of range", res.PeakCore)
+	}
+	// The peak must be attained in the recorded epoch/core.
+	if got := res.EpochEnd[res.PeakEpoch][res.PeakCore]; got != res.Peak {
+		t.Errorf("EpochEnd[%d][%d] = %v, want Peak %v", res.PeakEpoch, res.PeakCore, got, res.Peak)
+	}
+}
+
+func BenchmarkPeakTemperature64CoreDelta8(b *testing.B) {
+	// The paper's run-time overhead scenario: Algorithm 1 on a 64-core chip.
+	m, err := thermal.New(floorplan.MustNew(8, 8, 0.0009), thermal.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCalculator(m)
+	base := matrix.Constant(64, 0.3)
+	for i := 0; i < 16; i++ {
+		base[i*4] = 6
+	}
+	ring := make([]int, 8)
+	for i := range ring {
+		ring[i] = i * 8
+	}
+	plan := Rotate(0.5e-3, base, ring)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PeakTemperature(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestStackedModelVerticalRotation(t *testing.T) {
+	// The §VII 3D future-work story at the analytics level: on a 2-layer
+	// stack, a hot thread pinned on the buried layer runs hotter than the
+	// same thread rotating between the buried core and the core stacked
+	// directly above it — vertical rotation exploits the top layer's better
+	// heat path. Algorithm 1 evaluates the 3D model unchanged.
+	fp := floorplan.MustNew(4, 4, 0.0009)
+	m, err := thermal.NewStacked(fp, thermal.DefaultStackedConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCalculator(m)
+
+	base := matrix.Constant(32, 0.3)
+	buried := thermal.StackedCoreID(0, 5, 16)
+	top := thermal.StackedCoreID(1, 5, 16)
+	base[buried] = 9
+
+	pinned, err := c.PeakTemperature(Plan{Tau: 0.5e-3, Powers: [][]float64{base}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotated, err := c.PeakTemperature(Rotate(0.5e-3, base, []int{buried, top}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rotated >= pinned {
+		t.Errorf("vertical rotation peak %.2f not below pinned %.2f", rotated, pinned)
+	}
+}
+
+func TestStackedAnalyticMatchesBruteForce(t *testing.T) {
+	fp := floorplan.MustNew(2, 2, 0.0009)
+	cfg := thermal.DefaultStackedConfig(2)
+	cfg.SiCapacitance /= 100
+	cfg.SpCapacitance /= 100
+	cfg.SinkCapacitancePerCore /= 100
+	m, err := thermal.NewStacked(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCalculator(m)
+	base := matrix.Constant(8, 0.3)
+	base[0] = 8                             // buried layer, position 0
+	plan := Rotate(1e-3, base, []int{0, 4}) // rotate with the core above
+	analytic, err := c.PeakTemperature(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := c.BruteForcePeak(plan, 150, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(analytic-brute) > 0.05 {
+		t.Fatalf("stacked: analytic %.4f vs brute %.4f", analytic, brute)
+	}
+}

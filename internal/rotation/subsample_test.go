@@ -1,0 +1,120 @@
+package rotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/thermal"
+)
+
+func TestEvaluateFineValidation(t *testing.T) {
+	c := newCalc(t, 2, 2, thermal.DefaultConfig())
+	plan := Plan{Tau: 1e-3, Powers: [][]float64{{1, 1, 1, 1}}}
+	if _, err := c.EvaluateFine(plan, 0); err == nil {
+		t.Error("zero subsamples accepted")
+	}
+	if _, err := c.EvaluateFine(Plan{Tau: -1, Powers: plan.Powers}, 2); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestEvaluateFineOneSubsampleEqualsEvaluate(t *testing.T) {
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5] = 9
+	plan := Rotate(1e-3, base, []int{5, 6, 10, 9})
+	coarse, err := c.Evaluate(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := c.EvaluateFine(plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coarse.Peak-fine.Peak) > 1e-9 {
+		t.Fatalf("subsamples=1 peak %.6f != Evaluate peak %.6f", fine.Peak, coarse.Peak)
+	}
+	for e := range coarse.EpochEnd {
+		if !matrix.VecApproxEqual(coarse.EpochEnd[e], fine.EpochEnd[e], 1e-9) {
+			t.Fatalf("epoch-end %d mismatch", e)
+		}
+	}
+}
+
+func TestEvaluateFinePeakAtLeastCoarse(t *testing.T) {
+	// Subsampling can only reveal higher peaks, never lower ones.
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5] = 9
+	for _, tau := range []float64{0.5e-3, 2e-3, 8e-3} {
+		plan := Rotate(tau, base, []int{5, 6, 10, 9})
+		coarse, err := c.PeakTemperature(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fine, err := c.EvaluateFine(plan, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fine.Peak < coarse-1e-9 {
+			t.Fatalf("τ=%v: fine peak %.4f below coarse %.4f", tau, fine.Peak, coarse)
+		}
+	}
+}
+
+func TestEvaluateFineConverges(t *testing.T) {
+	// Doubling the sampling rate changes the peak less and less.
+	c := newCalc(t, 4, 4, thermal.DefaultConfig())
+	base := matrix.Constant(16, 0.3)
+	base[5] = 9
+	plan := Rotate(4e-3, base, []int{5, 6, 10, 9}) // long epochs: intra-epoch peak matters
+	var prev float64
+	var deltas []float64
+	for _, k := range []int{1, 4, 16, 64} {
+		res, err := c.EvaluateFine(plan, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 0 {
+			deltas = append(deltas, math.Abs(res.Peak-prev))
+		}
+		prev = res.Peak
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] > deltas[i-1]+1e-9 {
+			t.Fatalf("refinement not converging: deltas %v", deltas)
+		}
+	}
+	if deltas[len(deltas)-1] > 0.05 {
+		t.Errorf("still moving %.4f K at 64 subsamples", deltas[len(deltas)-1])
+	}
+}
+
+// Property: fine and coarse evaluations agree on the period fixed point
+// (Start), differing only in where they look for the peak.
+func TestPropFineStartMatchesCoarse(t *testing.T) {
+	c := newCalc(t, 3, 3, thermal.DefaultConfig())
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := make([]float64, 9)
+		for i := range base {
+			base[i] = r.Float64() * 8
+		}
+		plan := Rotate((0.3+r.Float64())*1e-3, base, []int{4, 1, 3})
+		coarse, err := c.Evaluate(plan)
+		if err != nil {
+			return false
+		}
+		fine, err := c.EvaluateFine(plan, 2+r.Intn(8))
+		if err != nil {
+			return false
+		}
+		return matrix.VecApproxEqual(coarse.Start, fine.Start, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// AsyncMigrate isolates the paper's central comparison: asynchronous
+// on-demand thread migration *without* DVFS — the "measure of last resort"
+// strategy (§I) — against HotPotato's synchronous rotation. Threads run
+// pinned at peak frequency until their core approaches the threshold, then
+// hop to the coolest free core; there is no periodic averaging, so heat must
+// build up before anything reacts.
+type AsyncMigrate struct {
+	tdtm float64
+	// margin triggers a migration when a core reaches tdtm − margin.
+	margin float64
+	// minGain is the minimum temperature advantage a destination must offer.
+	minGain float64
+	epoch   float64
+
+	assignment map[sim.ThreadID]int
+}
+
+// NewAsyncMigrate builds the migration-only policy.
+func NewAsyncMigrate(tdtm float64) *AsyncMigrate {
+	return &AsyncMigrate{
+		tdtm:       tdtm,
+		margin:     2,
+		minGain:    2,
+		epoch:      1e-3,
+		assignment: map[sim.ThreadID]int{},
+	}
+}
+
+// Name implements sim.Scheduler.
+func (a *AsyncMigrate) Name() string { return "async-migration" }
+
+// Decide implements sim.Scheduler.
+func (a *AsyncMigrate) Decide(st *sim.State) sim.Decision {
+	live := liveSet(st)
+	for id := range a.assignment {
+		if _, ok := live[id]; !ok {
+			delete(a.assignment, id)
+		}
+	}
+
+	// Shared gang-FIFO admission, cache-aware ordering.
+	n := st.Platform.NumCores()
+	for _, group := range queuedTasks(st) {
+		free := coresByAMD(st, freeCores(n, a.assignment))
+		if len(free) < len(group.threads) {
+			break
+		}
+		for i, th := range group.threads {
+			a.assignment[th.ID] = free[i]
+		}
+	}
+
+	// On-demand migration away from hot cores, deterministic order.
+	free := freeCores(n, a.assignment)
+	for _, id := range sortedIDs(a.assignment) {
+		core := a.assignment[id]
+		if st.CoreTemps[core] < a.tdtm-a.margin {
+			continue
+		}
+		bestCore, bestTemp, bestIdx := -1, st.CoreTemps[core]-a.minGain, -1
+		for i, c := range free {
+			if st.CoreTemps[c] < bestTemp {
+				bestCore, bestTemp, bestIdx = c, st.CoreTemps[c], i
+			}
+		}
+		if bestCore >= 0 {
+			free[bestIdx] = core
+			a.assignment[id] = bestCore
+		}
+	}
+
+	out := make(map[sim.ThreadID]int, len(a.assignment))
+	for id, core := range a.assignment {
+		out[id] = core
+	}
+	// No DVFS: peak frequency everywhere (nil Freq).
+	return sim.Decision{Assignment: out, NextInvoke: a.epoch}
+}

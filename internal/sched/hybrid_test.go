@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestHybridNameAndDefaults(t *testing.T) {
+	plat := testPlatform(t, 4, 4)
+	h := NewHotPotatoDVFS(plat, 70)
+	if h.Name() != "hotpotato-dvfs" {
+		t.Errorf("name = %q", h.Name())
+	}
+	if h.Freq() != plat.Power.DVFS().FMax {
+		t.Errorf("initial frequency = %v, want peak", h.Freq())
+	}
+}
+
+func TestHybridStaysAtPeakWhenCool(t *testing.T) {
+	// A cool workload must never be throttled: the hybrid degenerates to
+	// pure HotPotato.
+	plat := testPlatform(t, 4, 4)
+	b, _ := workload.ByName("canneal")
+	specs, err := workload.HomogeneousFullLoad(b, 16, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := workload.Instantiate(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHotPotatoDVFS(plat, 70)
+	res := runSim(t, plat, sim.DefaultConfig(), h, tasks)
+	if h.Freq() < plat.Power.DVFS().FMax {
+		t.Errorf("cool workload throttled to %.1f GHz", h.Freq()/1e9)
+	}
+	if res.PeakTemp > 70.5 {
+		t.Errorf("peak %.2f °C", res.PeakTemp)
+	}
+}
+
+func TestHybridThrottlesWhenRotationInsufficient(t *testing.T) {
+	// Force a situation rotation cannot fix: every core holds a hot thread
+	// (no cold cores to average against). The hybrid must step the frequency
+	// down; pure HotPotato can only ride the DTM.
+	plat := testPlatform(t, 4, 4)
+	h := NewHotPotatoDVFS(plat, 70)
+	threads := make([]sim.ThreadInfo, 16)
+	for i := range threads {
+		threads[i] = sim.ThreadInfo{
+			ID:           sim.ThreadID{Task: i, Thread: 0},
+			Core:         -1,
+			CPI:          1,
+			AvgPower:     6, // 16×6 W is far beyond the chip's envelope
+			NominalWatts: 9,
+			Perf:         workload.PARSEC()[0].Perf(),
+		}
+	}
+	temps := make([]float64, 16)
+	for i := range temps {
+		temps[i] = 69.5
+	}
+	fmax := plat.Power.DVFS().FMax
+	for step := 0; step < 20; step++ {
+		st := &sim.State{
+			Time:      float64(step) * 1.1e-3,
+			Platform:  plat,
+			CoreTemps: temps,
+			Threads:   threads,
+			TDTM:      70,
+		}
+		dec := h.Decide(st)
+		if dec.Freq == nil {
+			t.Fatal("hybrid returned nil frequencies")
+		}
+	}
+	if h.Freq() >= fmax {
+		t.Errorf("frequency still %.1f GHz on an impossible workload", h.Freq()/1e9)
+	}
+	if h.Tau() > h.tauMin {
+		t.Errorf("rotation not at its floor (τ=%v) before throttling", h.Tau())
+	}
+}
+
+func TestHybridRecoversFrequency(t *testing.T) {
+	// After pressure disappears, the frequency must climb back to peak.
+	plat := testPlatform(t, 4, 4)
+	h := NewHotPotatoDVFS(plat, 70)
+	h.freq = plat.Power.DVFS().FMin // start throttled
+
+	threads := []sim.ThreadInfo{{
+		ID: sim.ThreadID{Task: 0, Thread: 0}, Core: -1,
+		CPI: 1, AvgPower: 1.5, NominalWatts: 4,
+		Perf: workload.PARSEC()[2].Perf(),
+	}}
+	temps := make([]float64, 16)
+	for i := range temps {
+		temps[i] = 48
+	}
+	for step := 0; step < 60; step++ {
+		st := &sim.State{
+			Time:      float64(step) * 1.1e-3,
+			Platform:  plat,
+			CoreTemps: temps,
+			Threads:   threads,
+			TDTM:      70,
+		}
+		h.Decide(st)
+	}
+	if h.Freq() < plat.Power.DVFS().FMax {
+		t.Errorf("frequency stuck at %.1f GHz with a single cool thread", h.Freq()/1e9)
+	}
+}
+
+func TestHybridReducesDTMOnHotWorkload(t *testing.T) {
+	// blackscholes full load trips DTM occasionally under pure HotPotato;
+	// the hybrid's extra knob must not do worse, and must stay competitive
+	// on makespan.
+	b, _ := workload.ByName("blackscholes")
+	mk := func() []*workload.Task {
+		specs, err := workload.HomogeneousFullLoad(b, 16, []int{2, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks, err := workload.Instantiate(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tasks
+	}
+	platA := testPlatform(t, 4, 4)
+	pure := runSim(t, platA, sim.DefaultConfig(), NewHotPotato(platA, 70), mk())
+	platB := testPlatform(t, 4, 4)
+	hybrid := runSim(t, platB, sim.DefaultConfig(), NewHotPotatoDVFS(platB, 70), mk())
+
+	if hybrid.DTMTime > pure.DTMTime+1e-3 {
+		t.Errorf("hybrid DTM time %.2f ms worse than pure %.2f ms",
+			hybrid.DTMTime*1e3, pure.DTMTime*1e3)
+	}
+	if hybrid.Makespan > pure.Makespan*1.15 {
+		t.Errorf("hybrid makespan %.1f ms much worse than pure %.1f ms",
+			hybrid.Makespan*1e3, pure.Makespan*1e3)
+	}
+	if hybrid.PeakTemp > 72 {
+		t.Errorf("hybrid peak %.2f °C", hybrid.PeakTemp)
+	}
+}

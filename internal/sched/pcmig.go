@@ -1,0 +1,235 @@
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// PCMig reproduces the state-of-the-art baseline scheduler for S-NUCA
+// many-cores ([10], [21], building on PCGov [6]):
+//
+//   - cache-aware mapping: queued tasks are admitted FIFO (gang admission);
+//     within a task, higher-CPI (memory-bound) threads get the lowest-AMD
+//     free cores, where the distributed LLC is closest;
+//   - TSP-based power budgeting: every control epoch the TSP budget for the
+//     currently active cores is recomputed and each active core's DVFS level
+//     is set to the highest frequency whose power fits the budget
+//     (fine-grained 100 MHz steps, §VI);
+//   - asynchronous on-demand thread migration: when a core approaches the
+//     DTM threshold, its thread is migrated to the coolest free core — the
+//     "measure of last resort" the paper describes.
+type PCMig struct {
+	tdtm float64
+	// margin is how close (K) a core may get to TDTM before the on-demand
+	// migration fires.
+	margin float64
+	// minGain is the minimum temperature advantage (K) a destination core
+	// must offer for a migration to be worthwhile.
+	minGain float64
+	epoch   float64
+
+	assignment map[sim.ThreadID]int
+	lastFreq   map[sim.ThreadID]float64
+}
+
+// PCMigOption customises the baseline.
+type PCMigOption func(*PCMig)
+
+// WithPCMigEpoch sets the control epoch (default 1 ms).
+func WithPCMigEpoch(epoch float64) PCMigOption {
+	return func(p *PCMig) { p.epoch = epoch }
+}
+
+// WithPCMigMargin sets the migration trigger margin in K (default 2).
+func WithPCMigMargin(margin float64) PCMigOption {
+	return func(p *PCMig) { p.margin = margin }
+}
+
+// NewPCMig builds the baseline for the given DTM threshold.
+func NewPCMig(tdtm float64, opts ...PCMigOption) *PCMig {
+	p := &PCMig{
+		tdtm:       tdtm,
+		margin:     2,
+		minGain:    2,
+		epoch:      1e-3,
+		assignment: map[sim.ThreadID]int{},
+		lastFreq:   map[sim.ThreadID]float64{},
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements sim.Scheduler.
+func (p *PCMig) Name() string { return "pcmig" }
+
+// Decide implements sim.Scheduler.
+func (p *PCMig) Decide(st *sim.State) sim.Decision {
+	live := liveSet(st)
+
+	// Drop departed threads.
+	for id := range p.assignment {
+		if _, ok := live[id]; !ok {
+			delete(p.assignment, id)
+			delete(p.lastFreq, id)
+		}
+	}
+
+	// Gang admission, FIFO: map each queued task's threads onto free cores,
+	// memory-bound threads to low-AMD cores first (PCGov's cache-aware rule).
+	n := st.Platform.NumCores()
+	for _, group := range queuedTasks(st) {
+		free := coresByAMD(st, freeCores(n, p.assignment))
+		if len(free) < len(group.threads) {
+			break // head-of-line blocking keeps admission fair across schedulers
+		}
+		threads := append([]sim.ThreadInfo(nil), group.threads...)
+		sort.SliceStable(threads, func(a, b int) bool {
+			return threads[a].CPI > threads[b].CPI
+		})
+		for i, th := range threads {
+			p.assignment[th.ID] = free[i]
+		}
+	}
+
+	// Performance-driven migration (the prediction-based migrations of
+	// [10], [21]): when cores free up, the thread with the highest effective
+	// CPI — the one losing the most to LLC distance — moves to the best
+	// free lower-AMD core, provided the steady-state prediction stays safe.
+	// One move per control epoch, mirroring the baseline's caution.
+	p.performanceMigration(st, live)
+
+	// Asynchronous on-demand migration: threads on cores within margin of
+	// TDTM move to the coolest free core if it is clearly cooler. Iterate in
+	// deterministic ID order — map order would make tie-breaks (and thus
+	// whole runs) irreproducible.
+	free := freeCores(n, p.assignment)
+	for _, id := range sortedIDs(p.assignment) {
+		core := p.assignment[id]
+		if st.CoreTemps[core] < p.tdtm-p.margin {
+			continue
+		}
+		bestCore, bestTemp := -1, st.CoreTemps[core]-p.minGain
+		bestIdx := -1
+		for i, c := range free {
+			if st.CoreTemps[c] < bestTemp {
+				bestCore, bestTemp = c, st.CoreTemps[c]
+				bestIdx = i
+			}
+		}
+		if bestCore >= 0 {
+			free[bestIdx] = core // the vacated core becomes free
+			p.assignment[id] = bestCore
+		}
+	}
+
+	// TSP-based DVFS on the active cores. The budget is enforced against
+	// each thread's predicted power (PCMig's predictor works from observed
+	// behaviour, not the worst-case nominal): the measured average power at
+	// the previously set frequency is decomposed into an executing-power
+	// component and a duty cycle using the interval model's busy/stall
+	// fractions, and re-projected to each candidate frequency.
+	var active []int
+	for _, core := range p.assignment {
+		active = append(active, core)
+	}
+	budget := TSPBudget(st.Platform, active, p.tdtm)
+	d := st.Platform.Power.DVFS()
+	fmax := d.FMax
+	idle := st.Platform.Power.IdleWatts
+	freqs := uniformFreq(n, fmax)
+	for id, core := range p.assignment {
+		th := live[id]
+		prev, ok := p.lastFreq[id]
+		if !ok {
+			prev = fmax
+		}
+		execAt := func(f float64) float64 {
+			busy, stall := st.Platform.Perf.Fractions(th.Perf, core, f)
+			return busy*st.Platform.Power.ActivePower(th.NominalWatts, f) +
+				stall*st.Platform.Power.StallWatts
+		}
+		duty := 1.0
+		if execPrev := execAt(prev); execPrev > idle {
+			duty = (th.AvgPower - idle) / (execPrev - idle)
+			if duty < 0 {
+				duty = 0
+			} else if duty > 1 {
+				duty = 1
+			}
+		}
+		best := d.FMin
+		for _, f := range d.Levels() {
+			if duty*execAt(f)+(1-duty)*idle <= budget {
+				best = f
+			}
+		}
+		freqs[core] = best
+		p.lastFreq[id] = best
+	}
+
+	out := make(map[sim.ThreadID]int, len(p.assignment))
+	for id, core := range p.assignment {
+		out[id] = core
+	}
+	return sim.Decision{Assignment: out, Freq: freqs, NextInvoke: p.epoch}
+}
+
+// performanceMigration moves at most one thread to a clearly better (lower
+// AMD) free core when the predicted speedup justifies the migration cost and
+// the steady-state temperature stays below the threshold.
+func (p *PCMig) performanceMigration(st *sim.State, live map[sim.ThreadID]sim.ThreadInfo) {
+	n := st.Platform.NumCores()
+	free := coresByAMD(st, freeCores(n, p.assignment))
+	if len(free) == 0 {
+		return
+	}
+	fp := st.Platform.FP
+	fmax := st.Platform.Power.DVFS().FMax
+
+	type cand struct {
+		id    sim.ThreadID
+		gain  float64
+		dst   int
+		found bool
+	}
+	best := cand{gain: 1.02} // require > 2% predicted speedup
+	for _, id := range sortedIDs(p.assignment) {
+		core := p.assignment[id]
+		th, ok := live[id]
+		if !ok {
+			continue
+		}
+		dst := free[0]
+		if fp.AMD(dst) >= fp.AMD(core) {
+			continue
+		}
+		cur := st.Platform.Perf.TimePerInstr(th.Perf, core, fmax)
+		better := st.Platform.Perf.TimePerInstr(th.Perf, dst, fmax)
+		if g := cur / better; g > best.gain {
+			best = cand{id: id, gain: g, dst: dst, found: true}
+		}
+	}
+	if !best.found {
+		return
+	}
+	// Steady-state thermal check of the move using measured powers.
+	powers := make([]float64, n)
+	idle := st.Platform.Power.IdleWatts
+	for i := range powers {
+		powers[i] = idle
+	}
+	for id, core := range p.assignment {
+		if th, ok := live[id]; ok {
+			powers[core] = th.AvgPower
+		}
+	}
+	powers[best.dst] = powers[p.assignment[best.id]]
+	powers[p.assignment[best.id]] = idle
+	ss := st.Platform.Thermal.SteadyState(powers)
+	if st.Platform.Thermal.MaxCoreTemp(ss) < p.tdtm-p.margin {
+		p.assignment[best.id] = best.dst
+	}
+}

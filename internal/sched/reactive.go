@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"repro/internal/sim"
+)
+
+// Reactive is a classic feedback thermal governor (the style of Linux's
+// "ondemand"/thermal step-wise governors): no model, no prediction — each
+// control epoch it steps a core's frequency down when the core is hot and
+// back up when it has cooled. Included as the naive baseline the
+// model-driven policies (TSP, PCMig, HotPotato) are implicitly measured
+// against.
+type Reactive struct {
+	tdtm float64
+	// downMargin: step down when temp > tdtm − downMargin.
+	downMargin float64
+	// upMargin: step up when temp < tdtm − upMargin ( > downMargin).
+	upMargin float64
+	epoch    float64
+
+	assignment map[sim.ThreadID]int
+	coreFreq   map[int]float64
+}
+
+// NewReactive builds the governor for a DTM threshold.
+func NewReactive(tdtm float64) *Reactive {
+	return &Reactive{
+		tdtm:       tdtm,
+		downMargin: 2,
+		upMargin:   6,
+		epoch:      1e-3,
+		assignment: map[sim.ThreadID]int{},
+		coreFreq:   map[int]float64{},
+	}
+}
+
+// Name implements sim.Scheduler.
+func (r *Reactive) Name() string { return "reactive" }
+
+// Decide implements sim.Scheduler.
+func (r *Reactive) Decide(st *sim.State) sim.Decision {
+	live := liveSet(st)
+	for id := range r.assignment {
+		if _, ok := live[id]; !ok {
+			delete(r.assignment, id)
+		}
+	}
+
+	// Same gang-FIFO admission as every other scheduler; cache-aware
+	// ordering like PCMig.
+	n := st.Platform.NumCores()
+	for _, group := range queuedTasks(st) {
+		free := coresByAMD(st, freeCores(n, r.assignment))
+		if len(free) < len(group.threads) {
+			break
+		}
+		for i, th := range group.threads {
+			r.assignment[th.ID] = free[i]
+		}
+	}
+
+	// Step-wise per-core DVFS feedback.
+	d := st.Platform.Power.DVFS()
+	freqs := uniformFreq(n, d.FMax)
+	for _, core := range r.assignment {
+		f, ok := r.coreFreq[core]
+		if !ok {
+			f = d.FMax
+		}
+		switch {
+		case st.CoreTemps[core] > r.tdtm-r.downMargin:
+			f = d.StepDown(f)
+		case st.CoreTemps[core] < r.tdtm-r.upMargin:
+			f = d.StepUp(f)
+		}
+		r.coreFreq[core] = f
+		freqs[core] = f
+	}
+
+	out := make(map[sim.ThreadID]int, len(r.assignment))
+	for id, core := range r.assignment {
+		out[id] = core
+	}
+	return sim.Decision{Assignment: out, Freq: freqs, NextInvoke: r.epoch}
+}

@@ -1,0 +1,116 @@
+// Package sched implements the thread schedulers of the paper's evaluation:
+//
+//   - Static: pinned mapping at a fixed frequency (the unmanaged Fig. 2(a)
+//     execution);
+//   - RotationStatic: fixed synchronous rotation over a core set at a fixed
+//     interval (the Fig. 2(c) execution);
+//   - TSPGovernor: TSP [14] power budgeting via chip-wide DVFS on a pinned
+//     mapping (the Fig. 2(b) execution);
+//   - PCMig: the state-of-the-art baseline [10], [21] — cache-aware mapping,
+//     TSP-based per-core DVFS, and asynchronous on-demand migrations;
+//   - HotPotato: the paper's contribution (Algorithm 2) — AMD-ring
+//     synchronous rotation driven by the analytical peak-temperature method
+//     of Algorithm 1, without DVFS.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// liveSet indexes scheduler-visible threads by ID.
+func liveSet(st *sim.State) map[sim.ThreadID]sim.ThreadInfo {
+	m := make(map[sim.ThreadID]sim.ThreadInfo, len(st.Threads))
+	for _, th := range st.Threads {
+		m[th.ID] = th
+	}
+	return m
+}
+
+// taskGroup is a task's live threads, used for gang admission.
+type taskGroup struct {
+	taskID  int
+	arrival float64
+	threads []sim.ThreadInfo
+}
+
+// queuedTasks groups the queued (core == -1) threads by task, ordered FIFO by
+// arrival time (ties broken by task ID). Gang admission: a task is admitted
+// only when all of its threads fit at once, and tasks are never reordered —
+// identical policy for every scheduler so comparisons are fair.
+func queuedTasks(st *sim.State) []taskGroup {
+	byTask := map[int]*taskGroup{}
+	for _, th := range st.Threads {
+		if th.Core >= 0 {
+			continue
+		}
+		g, ok := byTask[th.ID.Task]
+		if !ok {
+			g = &taskGroup{taskID: th.ID.Task, arrival: th.Arrival}
+			byTask[th.ID.Task] = g
+		}
+		g.threads = append(g.threads, th)
+	}
+	groups := make([]taskGroup, 0, len(byTask))
+	for _, g := range byTask {
+		// Workers first (ascending), master last: workers execute the
+		// parallel bulk of a task, so when cores differ in quality the
+		// workers should claim the better ones. Both schedulers share this
+		// order, keeping the comparison about thermal policy, not placement
+		// luck.
+		sort.Slice(g.threads, func(a, b int) bool {
+			ta, tb := g.threads[a].ID.Thread, g.threads[b].ID.Thread
+			if (ta == 0) != (tb == 0) {
+				return tb == 0
+			}
+			return ta < tb
+		})
+		groups = append(groups, *g)
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		if groups[a].arrival != groups[b].arrival {
+			return groups[a].arrival < groups[b].arrival
+		}
+		return groups[a].taskID < groups[b].taskID
+	})
+	return groups
+}
+
+// freeCores returns the cores not used by the given assignment, ascending.
+func freeCores(n int, assignment map[sim.ThreadID]int) []int {
+	used := make([]bool, n)
+	for _, c := range assignment {
+		used[c] = true
+	}
+	var out []int
+	for c := 0; c < n; c++ {
+		if !used[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// coresByAMD returns core IDs sorted by ascending AMD (ties by ID).
+func coresByAMD(st *sim.State, cores []int) []int {
+	fp := st.Platform.FP
+	out := append([]int(nil), cores...)
+	sort.Slice(out, func(a, b int) bool {
+		if fp.AMD(out[a]) != fp.AMD(out[b]) {
+			return fp.AMD(out[a]) < fp.AMD(out[b])
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// sortedIDs returns the map's thread IDs in deterministic order.
+func sortedIDs(m map[sim.ThreadID]int) []sim.ThreadID {
+	out := make([]sim.ThreadID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return less(out[a], out[b]) })
+	return out
+}

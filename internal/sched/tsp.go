@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// TSPBudget computes the Thermal Safe Power budget [14] for a set of active
+// cores: the largest uniform per-core power x such that, with every active
+// core at x and every other core at idle power, no core's steady-state
+// temperature exceeds tdtm.
+//
+// Linearity of the RC model gives a closed form. With R the core block of
+// B⁻¹ (temperature rise per watt):
+//
+//	T_i = T_amb + Σ_j R_ij·idle + (x − idle)·Σ_{j∈active} R_ij
+//
+// so each core i bounds x, and the budget is the minimum over cores.
+func TSPBudget(plat *sim.Platform, active []int, tdtm float64) float64 {
+	if len(active) == 0 {
+		return math.Inf(1)
+	}
+	n := plat.NumCores()
+	idle := plat.Power.IdleWatts
+	binv := plat.Thermal.BInv()
+	amb := plat.Thermal.Ambient()
+
+	activeSet := make([]bool, n)
+	for _, c := range active {
+		activeSet[c] = true
+	}
+
+	budget := math.Inf(1)
+	for i := 0; i < n; i++ {
+		var base, activeSum float64
+		for j := 0; j < n; j++ {
+			r := binv.At(i, j)
+			base += r * idle
+			if activeSet[j] {
+				activeSum += r
+			}
+		}
+		if activeSum <= 0 {
+			continue
+		}
+		x := idle + (tdtm-amb-base)/activeSum
+		if x < budget {
+			budget = x
+		}
+	}
+	if budget < idle {
+		budget = idle
+	}
+	return budget
+}
+
+// maxFreqWithinBudget returns the highest DVFS level at which a thread of
+// the given nominal power stays within the power budget (at least the
+// minimum level — TSP cannot power-gate a running thread).
+func maxFreqWithinBudget(plat *sim.Platform, nominalWatts, budget float64) float64 {
+	d := plat.Power.DVFS()
+	best := d.FMin
+	for _, f := range d.Levels() {
+		if plat.Power.ActivePower(nominalWatts, f) <= budget {
+			best = f
+		}
+	}
+	return best
+}
+
+// TSPGovernor pins threads like Static but budgets their power with TSP,
+// choosing per-core DVFS levels so the steady state stays below TDTM — the
+// DVFS-only management of the paper's Fig. 2(b).
+type TSPGovernor struct {
+	pins map[sim.ThreadID]int
+	tdtm float64
+}
+
+// NewTSPGovernor builds the governor for a pinned mapping.
+func NewTSPGovernor(pins map[sim.ThreadID]int, tdtm float64) *TSPGovernor {
+	copied := make(map[sim.ThreadID]int, len(pins))
+	for k, v := range pins {
+		copied[k] = v
+	}
+	return &TSPGovernor{pins: copied, tdtm: tdtm}
+}
+
+// Name implements sim.Scheduler.
+func (g *TSPGovernor) Name() string { return "tsp-dvfs" }
+
+// Decide implements sim.Scheduler.
+func (g *TSPGovernor) Decide(st *sim.State) sim.Decision {
+	assignment := make(map[sim.ThreadID]int)
+	var active []int
+	nominal := map[int]float64{}
+	for _, th := range st.Threads {
+		core, ok := g.pins[th.ID]
+		if !ok {
+			continue
+		}
+		assignment[th.ID] = core
+		active = append(active, core)
+		nominal[core] = th.NominalWatts
+	}
+	budget := TSPBudget(st.Platform, active, g.tdtm)
+	fmax := st.Platform.Power.DVFS().FMax
+	freqs := uniformFreq(st.Platform.NumCores(), fmax)
+	for core, nom := range nominal {
+		freqs[core] = maxFreqWithinBudget(st.Platform, nom, budget)
+	}
+	return sim.Decision{Assignment: assignment, Freq: freqs}
+}

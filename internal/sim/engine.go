@@ -1,0 +1,535 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// TimeSlice is the integration/accounting step (seconds).
+	TimeSlice float64
+	// SchedulerEpoch is the default scheduler cadence when a Decision leaves
+	// NextInvoke at zero (paper §VI: 0.5 ms rotation epochs).
+	SchedulerEpoch float64
+	// TDTM is the DTM trip temperature in °C (paper §VI: 70).
+	TDTM float64
+	// DTMEnabled engages the hardware thermal protection. The motivational
+	// Fig. 2(a) trace runs with it disabled to expose the violation.
+	DTMEnabled bool
+	// DTMPerCore throttles only the cores above the threshold instead of
+	// crashing the whole chip's frequency (the paper describes chip-wide
+	// DTM, the default; modern parts often throttle per core).
+	DTMPerCore bool
+	// DTMThrottleFreq is the chip-wide frequency DTM crashes to (Hz).
+	DTMThrottleFreq float64
+	// DTMHysteresis is how far below TDTM the chip must cool before DTM
+	// releases (K).
+	DTMHysteresis float64
+	// MaxTime aborts runaway simulations (seconds of simulated time).
+	MaxTime float64
+	// HistoryWindow is the per-thread power history span (paper §V: 10 ms).
+	HistoryWindow float64
+	// SensorNoiseStdDev injects zero-mean Gaussian error (K) into the core
+	// temperatures the *scheduler* observes, modelling real thermal-sensor
+	// inaccuracy. The physics and the hardware DTM see true temperatures.
+	// Zero disables the noise.
+	SensorNoiseStdDev float64
+	// SensorNoiseSeed makes the injected noise reproducible.
+	SensorNoiseSeed int64
+	// NoCContention enables the load-dependent memory latency model: the
+	// chip's aggregate LLC access rate drives an M/M/1 queueing factor on
+	// every access (interval-simulation style, one damped fixed-point
+	// iteration per slice). Off by default — the paper's evaluation regime
+	// is thermally, not bandwidth, limited.
+	NoCContention bool
+}
+
+// DefaultConfig returns the evaluation configuration of §VI.
+func DefaultConfig() Config {
+	return Config{
+		TimeSlice:       0.1e-3,
+		SchedulerEpoch:  0.5e-3,
+		TDTM:            70,
+		DTMEnabled:      true,
+		DTMThrottleFreq: 1.0e9,
+		DTMHysteresis:   2,
+		MaxTime:         30,
+		HistoryWindow:   power.DefaultWindow,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.TimeSlice <= 0:
+		return fmt.Errorf("sim: TimeSlice must be positive, got %g", c.TimeSlice)
+	case c.SchedulerEpoch < c.TimeSlice:
+		return fmt.Errorf("sim: SchedulerEpoch %g below TimeSlice %g", c.SchedulerEpoch, c.TimeSlice)
+	case c.TDTM <= 0:
+		return fmt.Errorf("sim: TDTM must be positive, got %g", c.TDTM)
+	case c.DTMThrottleFreq <= 0:
+		return fmt.Errorf("sim: DTM throttle frequency must be positive, got %g", c.DTMThrottleFreq)
+	case c.DTMHysteresis < 0:
+		return fmt.Errorf("sim: DTM hysteresis must be non-negative, got %g", c.DTMHysteresis)
+	case c.MaxTime <= 0:
+		return fmt.Errorf("sim: MaxTime must be positive, got %g", c.MaxTime)
+	case c.HistoryWindow <= 0:
+		return fmt.Errorf("sim: HistoryWindow must be positive, got %g", c.HistoryWindow)
+	case c.SensorNoiseStdDev < 0:
+		return fmt.Errorf("sim: sensor noise must be non-negative, got %g", c.SensorNoiseStdDev)
+	}
+	return nil
+}
+
+// ErrTimeout reports that the simulation hit Config.MaxTime before all tasks
+// finished.
+var ErrTimeout = errors.New("sim: simulation exceeded MaxTime")
+
+// TaskStat records per-task outcome.
+type TaskStat struct {
+	ID        int
+	Benchmark string
+	Threads   int
+	Arrival   float64
+	Start     float64 // first instruction executed; -1 if never started
+	Finish    float64 // completion time; -1 if unfinished at timeout
+	Response  float64 // Finish − Arrival; NaN if unfinished
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Scheduler     string
+	SimulatedTime float64
+	Makespan      float64 // latest task finish time
+	AvgResponse   float64
+	MaxResponse   float64
+	// AvgWait is the mean queueing delay (first execution − arrival) of
+	// finished tasks — the open-system congestion signal of Fig. 4(b).
+	AvgWait              float64
+	Tasks                []TaskStat
+	PeakTemp             float64 // hottest core temperature ever observed
+	DTMTime              float64 // seconds spent throttled by DTM
+	DTMEvents            int
+	Migrations           int
+	EnergyJ              float64 // core energy
+	SchedulerInvocations int
+	SchedulerHostTime    time.Duration // wall-clock spent inside Decide
+}
+
+// TraceFunc observes every simulation slice (for Fig. 2 style traces).
+type TraceFunc func(t float64, coreTemps, coreWatts, coreFreq []float64)
+
+// Simulator runs one workload under one scheduler on one platform.
+type Simulator struct {
+	plat  *Platform
+	cfg   Config
+	sched Scheduler
+	tasks []*workload.Task
+	trace TraceFunc
+}
+
+// New prepares a simulation. Tasks may arrive at any time ≥ 0; they are
+// admitted as simulated time passes their arrivals.
+func New(plat *Platform, cfg Config, sched Scheduler, tasks []*workload.Task) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil {
+		return nil, errors.New("sim: scheduler is nil")
+	}
+	if len(tasks) == 0 {
+		return nil, errors.New("sim: no tasks")
+	}
+	sorted := append([]*workload.Task(nil), tasks...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		if sorted[a].Arrival != sorted[b].Arrival {
+			return sorted[a].Arrival < sorted[b].Arrival
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	return &Simulator{plat: plat, cfg: cfg, sched: sched, tasks: sorted}, nil
+}
+
+// SetTrace installs a per-slice observer. Must be called before Run.
+func (s *Simulator) SetTrace(fn TraceFunc) { s.trace = fn }
+
+// threadRt is the runtime state of one thread.
+type threadRt struct {
+	task    *workload.Task
+	idx     int
+	id      ThreadID
+	core    int // -1 while queued
+	penalty float64
+	history *power.History
+}
+
+// Run executes the simulation to completion (all tasks done) and returns the
+// collected metrics. If MaxTime is hit first, the partial Result is returned
+// together with ErrTimeout.
+func (s *Simulator) Run() (*Result, error) {
+	n := s.plat.NumCores()
+	dt := s.cfg.TimeSlice
+	stepper, err := s.plat.Thermal.NewStepper(dt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Scheduler: s.sched.Name(), PeakTemp: math.Inf(-1)}
+	temps := s.plat.Thermal.InitialTemps()
+	freqs := make([]float64, n)
+	fmax := s.plat.Power.DVFS().FMax
+	for i := range freqs {
+		freqs[i] = fmax
+	}
+
+	var live []*threadRt
+	pendingIdx := 0
+	now := 0.0
+	nextSched := 0.0
+	needSched := true
+	dtmActive := false
+	medianCore := s.plat.FP.ID(s.plat.FP.Width/2, s.plat.FP.Height/2)
+	noise := rand.New(rand.NewSource(s.cfg.SensorNoiseSeed))
+	contention := 1.0 // shared-resource latency factor (NoCContention)
+	dtmCore := make([]bool, n)
+
+	coreTemps := make([]float64, n)
+	corePower := make([]float64, n)
+
+	for {
+		// Admit arrivals whose time has come.
+		for pendingIdx < len(s.tasks) && s.tasks[pendingIdx].Arrival <= now+dt/2 {
+			task := s.tasks[pendingIdx]
+			pendingIdx++
+			for ti := 0; ti < task.Threads; ti++ {
+				h, err := power.NewHistory(s.cfg.HistoryWindow)
+				if err != nil {
+					return nil, err
+				}
+				live = append(live, &threadRt{
+					task: task, idx: ti,
+					id:      ThreadID{Task: task.ID, Thread: ti},
+					core:    -1,
+					history: h,
+				})
+			}
+			needSched = true
+		}
+
+		// Termination: nothing left anywhere.
+		if len(live) == 0 && pendingIdx >= len(s.tasks) {
+			break
+		}
+		if now >= s.cfg.MaxTime {
+			s.finalize(res, now)
+			return res, fmt.Errorf("%w after %.3f s with %d live threads", ErrTimeout, now, len(live))
+		}
+
+		// Scheduler invocation.
+		if needSched || now >= nextSched-dt/2 {
+			copy(coreTemps, temps[:n])
+			if s.cfg.SensorNoiseStdDev > 0 {
+				for i := range coreTemps {
+					coreTemps[i] += noise.NormFloat64() * s.cfg.SensorNoiseStdDev
+				}
+			}
+			st := s.buildState(now, coreTemps, live, dtmActive, medianCore)
+			begin := time.Now()
+			dec := s.sched.Decide(st)
+			res.SchedulerHostTime += time.Since(begin)
+			res.SchedulerInvocations++
+			if err := s.apply(dec, live, freqs, res); err != nil {
+				return nil, err
+			}
+			interval := dec.NextInvoke
+			if interval <= 0 {
+				interval = s.cfg.SchedulerEpoch
+			}
+			if interval < dt {
+				interval = dt
+			}
+			nextSched = now + interval
+			needSched = false
+		}
+
+		// Hardware DTM: chip-wide (paper) or per-core.
+		maxT := s.plat.Thermal.MaxCoreTemp(temps)
+		if s.cfg.DTMEnabled {
+			if s.cfg.DTMPerCore {
+				anyActive := false
+				for c := 0; c < n; c++ {
+					if !dtmCore[c] && temps[c] > s.cfg.TDTM {
+						dtmCore[c] = true
+						res.DTMEvents++
+					} else if dtmCore[c] && temps[c] < s.cfg.TDTM-s.cfg.DTMHysteresis {
+						dtmCore[c] = false
+					}
+					anyActive = anyActive || dtmCore[c]
+				}
+				dtmActive = anyActive
+			} else if !dtmActive && maxT > s.cfg.TDTM {
+				dtmActive = true
+				res.DTMEvents++
+			} else if dtmActive && maxT < s.cfg.TDTM-s.cfg.DTMHysteresis {
+				dtmActive = false
+			}
+		}
+
+		// Execute one slice.
+		for i := range corePower {
+			corePower[i] = s.plat.Power.IdleWatts
+		}
+		var llcAccesses float64
+		for _, th := range live {
+			if th.core < 0 {
+				// Queued: no core, no attributable power; the history keeps
+				// reflecting the thread's last execution.
+				continue
+			}
+			f := freqs[th.core]
+			throttled := dtmActive
+			if s.cfg.DTMPerCore {
+				throttled = dtmCore[th.core]
+			}
+			if throttled && f > s.cfg.DTMThrottleFreq {
+				f = s.cfg.DTMThrottleFreq
+			}
+			w, instr := s.executeSlice(th, f, dt, now, contention)
+			corePower[th.core] = w
+			llcAccesses += instr * th.task.Bench.MPKI / 1000
+		}
+		if s.cfg.NoCContention {
+			// Damped fixed point: utilization of the n LLC banks, each
+			// serving one access per bank-access time.
+			rho := llcAccesses / dt * s.plat.Perf.BankAccess / float64(n)
+			target := perf.ContentionFactor(rho)
+			contention = 0.5*contention + 0.5*target
+		}
+
+		temps = stepper.Step(temps, corePower)
+		now += dt
+
+		if mc := s.plat.Thermal.MaxCoreTemp(temps); mc > res.PeakTemp {
+			res.PeakTemp = mc
+		}
+		if dtmActive {
+			res.DTMTime += dt
+		}
+		for _, w := range corePower {
+			res.EnergyJ += w * dt
+		}
+
+		// Task completions.
+		remaining := live[:0]
+		for _, th := range live {
+			if th.task.Done() {
+				if th.task.FinishTime < 0 {
+					th.task.FinishTime = now
+				}
+				needSched = true
+				continue
+			}
+			remaining = append(remaining, th)
+		}
+		live = remaining
+
+		if s.trace != nil {
+			copy(coreTemps, temps[:n])
+			effFreqs := append([]float64(nil), freqs...)
+			for i := range effFreqs {
+				throttled := dtmActive
+				if s.cfg.DTMPerCore {
+					throttled = dtmCore[i]
+				}
+				if throttled && effFreqs[i] > s.cfg.DTMThrottleFreq {
+					effFreqs[i] = s.cfg.DTMThrottleFreq
+				}
+			}
+			s.trace(now, coreTemps, append([]float64(nil), corePower...), effFreqs)
+		}
+	}
+
+	s.finalize(res, now)
+	return res, nil
+}
+
+// executeSlice advances thread th on its core at frequency f for dt seconds
+// and returns the core's average power over the slice along with the
+// instructions retired.
+func (s *Simulator) executeSlice(th *threadRt, f, dt, now, contention float64) (watts, instructions float64) {
+	pm := s.plat.Power
+	params := th.task.Bench.Perf()
+	tpi := s.plat.Perf.TimePerInstrContended(params, th.core, f, contention)
+	busyF, stallF := s.plat.Perf.FractionsContended(params, th.core, f, contention)
+
+	left := dt
+	var energy float64 // watt-seconds over the slice
+
+	// Migration penalty stalls the thread first.
+	if th.penalty > 0 {
+		p := math.Min(th.penalty, left)
+		th.penalty -= p
+		left -= p
+		energy += p * pm.StallWatts
+	}
+
+	execWatts := pm.IntervalPower(th.task.Bench.NominalWatts, f, busyF, stallF)
+	for guard := 0; left > 1e-12 && th.task.State(th.idx) == workload.ThreadRunning; guard++ {
+		if guard > 64 {
+			panic("sim: thread made no progress in a slice")
+		}
+		used := th.task.Execute(th.idx, left/tpi)
+		if used <= 0 {
+			break
+		}
+		if th.task.StartTime < 0 {
+			th.task.StartTime = now
+		}
+		instructions += used
+		t := used * tpi
+		energy += t * execWatts
+		left -= t
+	}
+	energy += left * pm.IdleWatts
+
+	avg := energy / dt
+	th.history.Record(dt, avg)
+	return avg, instructions
+}
+
+// buildState snapshots the system for the scheduler.
+func (s *Simulator) buildState(now float64, coreTemps []float64, live []*threadRt, dtm bool, medianCore int) *State {
+	fmax := s.plat.Power.DVFS().FMax
+	infos := make([]ThreadInfo, len(live))
+	for i, th := range live {
+		core := th.core
+		cpiCore := core
+		if cpiCore < 0 {
+			cpiCore = medianCore
+		}
+		infos[i] = ThreadInfo{
+			ID:             th.id,
+			Benchmark:      th.task.Bench.Name,
+			Perf:           th.task.Bench.Perf(),
+			NominalWatts:   th.task.Bench.NominalWatts,
+			State:          th.task.State(th.idx),
+			Core:           core,
+			AvgPower:       th.history.Average(th.task.Bench.NominalWatts),
+			CPI:            s.plat.Perf.EffectiveCPI(th.task.Bench.Perf(), cpiCore, fmax),
+			RemainingInstr: th.task.TotalRemaining(),
+			Arrival:        th.task.Arrival,
+		}
+	}
+	tempsCopy := append([]float64(nil), coreTemps...)
+	return &State{
+		Time:      now,
+		CoreTemps: tempsCopy,
+		Threads:   infos,
+		Platform:  s.plat,
+		TDTM:      s.cfg.TDTM,
+		DTMActive: dtm,
+	}
+}
+
+// apply validates and installs a scheduler decision.
+func (s *Simulator) apply(dec Decision, live []*threadRt, freqs []float64, res *Result) error {
+	n := s.plat.NumCores()
+	liveSet := make(map[ThreadID]*threadRt, len(live))
+	for _, th := range live {
+		liveSet[th.id] = th
+	}
+	coreUsed := make(map[int]ThreadID, len(dec.Assignment))
+	for id, core := range dec.Assignment {
+		if _, ok := liveSet[id]; !ok {
+			return fmt.Errorf("sim: scheduler %s assigned unknown thread %v", s.sched.Name(), id)
+		}
+		if core < 0 || core >= n {
+			return fmt.Errorf("sim: scheduler %s assigned thread %v to invalid core %d", s.sched.Name(), id, core)
+		}
+		if prev, clash := coreUsed[core]; clash {
+			return fmt.Errorf("sim: scheduler %s assigned threads %v and %v to core %d", s.sched.Name(), prev, id, core)
+		}
+		coreUsed[core] = id
+	}
+	for _, th := range live {
+		core, mapped := dec.Assignment[th.id]
+		switch {
+		case !mapped:
+			th.core = -1
+		case th.core >= 0 && th.core != core:
+			th.penalty += s.plat.Caches.MigrationPenalty(th.core, core)
+			res.Migrations++
+			th.core = core
+		default:
+			th.core = core
+		}
+	}
+	if dec.Freq != nil {
+		if len(dec.Freq) != n {
+			return fmt.Errorf("sim: scheduler %s returned %d frequencies for %d cores", s.sched.Name(), len(dec.Freq), n)
+		}
+		d := s.plat.Power.DVFS()
+		for i, f := range dec.Freq {
+			freqs[i] = d.Clamp(f)
+		}
+	} else {
+		fmax := s.plat.Power.DVFS().FMax
+		for i := range freqs {
+			freqs[i] = fmax
+		}
+	}
+	return nil
+}
+
+// finalize computes the aggregate metrics.
+func (s *Simulator) finalize(res *Result, now float64) {
+	res.SimulatedTime = now
+	var sum, waitSum float64
+	finished := 0
+	for _, task := range s.tasks {
+		stat := TaskStat{
+			ID:        task.ID,
+			Benchmark: task.Bench.Name,
+			Threads:   task.Threads,
+			Arrival:   task.Arrival,
+			Start:     task.StartTime,
+			Finish:    task.FinishTime,
+			Response:  task.ResponseTime(),
+		}
+		res.Tasks = append(res.Tasks, stat)
+		if task.FinishTime >= 0 {
+			finished++
+			sum += stat.Response
+			if stat.Start >= 0 {
+				waitSum += stat.Start - stat.Arrival
+			}
+			if stat.Finish > res.Makespan {
+				res.Makespan = stat.Finish
+			}
+			if stat.Response > res.MaxResponse {
+				res.MaxResponse = stat.Response
+			}
+		}
+	}
+	if finished > 0 {
+		res.AvgResponse = sum / float64(finished)
+		res.AvgWait = waitSum / float64(finished)
+	}
+}
+
+// String renders a one-paragraph human-readable summary of the run.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"%s: %d tasks, makespan %.1f ms, avg response %.1f ms (wait %.1f ms), "+
+			"peak %.2f °C, DTM %d events/%.1f ms, %d migrations, %.2f J",
+		r.Scheduler, len(r.Tasks), r.Makespan*1e3, r.AvgResponse*1e3, r.AvgWait*1e3,
+		r.PeakTemp, r.DTMEvents, r.DTMTime*1e3, r.Migrations, r.EnergyJ)
+}

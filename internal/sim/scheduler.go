@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// ThreadID identifies one thread of one task.
+type ThreadID struct {
+	Task   int // workload.Task.ID
+	Thread int // 0 = master
+}
+
+// ThreadInfo is the scheduler-visible snapshot of one live thread.
+type ThreadInfo struct {
+	ID        ThreadID
+	Benchmark string
+	Perf      perf.Params
+	// NominalWatts is the thread's active power at peak frequency — the
+	// conservative fallback when no power history exists yet.
+	NominalWatts float64
+	State        workload.ThreadState
+	// Core is the thread's current core, or -1 while queued.
+	Core int
+	// AvgPower is the time-weighted mean power over the last 10 ms the
+	// thread attributably drew (paper §V); NominalWatts until history exists.
+	AvgPower float64
+	// CPI is the thread's effective cycles-per-instruction at peak frequency
+	// on its current core (or the chip-median core while queued) — the
+	// metric HotPotato sorts by in Algorithm 2.
+	CPI float64
+	// RemainingInstr is the work left across all phases.
+	RemainingInstr float64
+	// Arrival is the owning task's arrival time.
+	Arrival float64
+}
+
+// State is the snapshot handed to the scheduler on every invocation.
+type State struct {
+	Time      float64
+	CoreTemps []float64 // per-core silicon temperatures, °C
+	Threads   []ThreadInfo
+	Platform  *Platform
+	TDTM      float64 // the DTM trip temperature the run enforces
+	DTMActive bool
+}
+
+// Decision is the scheduler's answer: a thread→core mapping and per-core
+// frequencies. Threads omitted from Assignment stay (or become) queued and
+// make no progress. Cores may hold at most one thread.
+type Decision struct {
+	Assignment map[ThreadID]int
+	// Freq is the per-core frequency in Hz; nil means peak frequency on
+	// every core. Values are clamped to the platform's DVFS ladder.
+	Freq []float64
+	// NextInvoke asks the simulator to call the scheduler again after this
+	// many seconds (rounded up to slice granularity) unless an arrival or
+	// finish event happens earlier. Zero selects the default epoch.
+	NextInvoke float64
+}
+
+// Scheduler is the policy plug-in interface. Implementations live in
+// internal/sched (HotPotato, PCMig, TSP, static policies).
+type Scheduler interface {
+	Name() string
+	Decide(st *State) Decision
+}

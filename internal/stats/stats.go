@@ -1,0 +1,161 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harnesses need: means, deviations, percentiles, and normal
+// confidence intervals for multi-seed runs, plus fixed-width histograms for
+// temperature traces.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance; NaN for fewer than two
+// samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the smallest element; NaN for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element; NaN for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks; NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary bundles the descriptive statistics of one sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P50    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    Min(xs),
+		P50:    Median(xs),
+		P95:    Percentile(xs, 95),
+		Max:    Max(xs),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g p50=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.Max)
+}
+
+// ConfidenceInterval95 returns the half-width of the normal-approximation
+// 95% confidence interval of the mean (1.96·σ/√n); NaN for n < 2.
+func ConfidenceInterval95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// Histogram counts xs into `bins` equal-width bins spanning [lo, hi); values
+// outside the range clamp into the first/last bin. It returns the counts and
+// the bin edges (len bins+1).
+func Histogram(xs []float64, lo, hi float64, bins int) (counts []int, edges []float64, err error) {
+	if bins < 1 {
+		return nil, nil, fmt.Errorf("stats: need at least one bin, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, nil, fmt.Errorf("stats: invalid range [%g, %g)", lo, hi)
+	}
+	counts = make([]int, bins)
+	edges = make([]float64, bins+1)
+	width := (hi - lo) / float64(bins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	return counts, edges, nil
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanKnown(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} is 4.571428...
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4.571428571428571) > 1e-12 {
+		t.Errorf("Variance = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample not NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max not NaN")
+	}
+}
+
+func TestPercentileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile not NaN")
+	}
+	if !math.IsNaN(Percentile(xs, 101)) {
+		t.Error("out-of-range percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile sorted its input in place")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.P50 != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	ci := ConfidenceInterval95([]float64{10, 10, 10, 10})
+	if ci != 0 {
+		t.Errorf("CI of constants = %v, want 0", ci)
+	}
+	if !math.IsNaN(ConfidenceInterval95([]float64{1})) {
+		t.Error("CI of single sample not NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges, err := Histogram([]float64{0.5, 1.5, 1.6, 2.5, -10, 10}, 0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 4 || edges[0] != 0 || edges[3] != 3 {
+		t.Errorf("edges = %v", edges)
+	}
+	// -10 clamps to bin 0, 10 clamps to bin 2.
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, _, err := Histogram(nil, 0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, _, err := Histogram(nil, 1, 1, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+// Property: mean lies within [min, max]; percentiles are monotone in p.
+func TestPropMeanAndPercentileBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		m := Mean(xs)
+		if m < Min(xs)-1e-9 || m > Max(xs)+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: variance is translation-invariant and scales quadratically.
+func TestPropVarianceInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		xs := make([]float64, n)
+		shifted := make([]float64, n)
+		scaled := make([]float64, n)
+		shift := r.NormFloat64() * 100
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			shifted[i] = xs[i] + shift
+			scaled[i] = 3 * xs[i]
+		}
+		v := Variance(xs)
+		if math.Abs(Variance(shifted)-v) > 1e-6*(1+v) {
+			return false
+		}
+		return math.Abs(Variance(scaled)-9*v) < 1e-6*(1+9*v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: histogram counts always sum to the sample size.
+func TestPropHistogramConserves(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 5
+		}
+		counts, _, err := Histogram(xs, -3, 3, 1+r.Intn(10))
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

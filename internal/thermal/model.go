@@ -1,0 +1,253 @@
+// Package thermal implements the compact RC thermal model of paper §III-B
+// (Eq. 1–3) and the MatEx-style transient solver of Eq. 4 [22]. The network
+// is built HotSpot-style [15] from the floorplan: one silicon node per core,
+// one heat-spreader node per core, and a single heatsink node coupled to the
+// ambient. The resulting matrices have exactly the structure the paper's
+// peak-temperature derivation requires: A diagonal positive (capacitances),
+// B symmetric positive definite (conductances), so C = −A⁻¹B is negative
+// definite and diagonalizable with real negative eigenvalues.
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/matrix"
+)
+
+// Config holds the RC network parameters. Values are calibrated such that a
+// Table I style core (0.81 mm², 4 GHz, ≈8 W compute-bound) reaches ≈80 °C
+// from a 45 °C ambient — the regime of the paper's motivational example.
+type Config struct {
+	// Capacitances, J/K.
+	SiCapacitance          float64 // silicon node, per core
+	SpCapacitance          float64 // spreader node, per core
+	SinkCapacitancePerCore float64 // heatsink node scales with chip size
+
+	// Conductances, W/K.
+	GLateralSi    float64 // between neighbouring silicon nodes
+	GVertical     float64 // silicon → spreader, per core
+	GLateralSp    float64 // between neighbouring spreader nodes
+	GSpreaderSink float64 // spreader segment → heatsink, per core
+	// GSpreaderEdgeBonus adds extra spreader→sink conductance per exposed
+	// die edge of a cell (1 for edge cells, 2 for corners), modelling the
+	// heat spreader extending beyond the die: border cores cool better, so
+	// the chip centre runs hottest — the thermal heterogeneity of §III-A.
+	GSpreaderEdgeBonus  float64 // fraction of GSpreaderSink per exposed edge
+	GSinkAmbientPerCore float64 // heatsink → ambient, scales with chip size
+
+	Ambient float64 // ambient temperature, °C (paper §VI: 45)
+}
+
+// DefaultConfig returns the calibrated model parameters.
+func DefaultConfig() Config {
+	return Config{
+		SiCapacitance:          4.25e-4,
+		SpCapacitance:          8.4e-3,
+		SinkCapacitancePerCore: 0.5,
+		GLateralSi:             0.045,
+		GVertical:              0.20,
+		GLateralSp:             0.40,
+		GSpreaderSink:          0.50,
+		GSpreaderEdgeBonus:     0.25,
+		GSinkAmbientPerCore:    0.40,
+		Ambient:                45.0,
+	}
+}
+
+// Model is a compact RC thermal model over a floorplan.
+type Model struct {
+	fp  *floorplan.Floorplan
+	cfg Config
+
+	n int // cores
+	N int // thermal nodes = 2n + 1
+
+	aDiag []float64     // A: diagonal thermal capacitance matrix
+	b     *matrix.Dense // B: symmetric conductance matrix
+	g     []float64     // G: conductance to ambient per node
+
+	binv *matrix.Dense            // B⁻¹ (used by Eq. 3 and the rotation math)
+	eig  *matrix.GeneralizedEigen // factorization of A⁻¹B (λ > 0)
+
+	steadyAmbient []float64 // B⁻¹·T_amb·G — the all-idle steady state
+}
+
+// New builds and factorizes the RC model for the given floorplan.
+func New(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	n := fp.NumCores()
+	m := &Model{fp: fp, cfg: cfg, n: n, N: 2*n + 1}
+	m.build()
+
+	// B is SPD by construction; Cholesky both certifies that and inverts it
+	// faster than LU.
+	chol, err := matrix.FactorCholesky(m.b)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: conductance matrix not SPD: %w", err)
+	}
+	if m.binv, err = chol.Inverse(); err != nil {
+		return nil, fmt.Errorf("thermal: inverting conductance matrix: %w", err)
+	}
+	m.eig, err = matrix.SymDefEigen(m.aDiag, m.b)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: eigendecomposition failed: %w", err)
+	}
+	m.steadyAmbient = matrix.VecScale(cfg.Ambient, m.binv.MulVec(m.g))
+	return m, nil
+}
+
+func validate(cfg Config) error {
+	checks := []struct {
+		name string
+		v    float64
+	}{
+		{"SiCapacitance", cfg.SiCapacitance},
+		{"SpCapacitance", cfg.SpCapacitance},
+		{"SinkCapacitancePerCore", cfg.SinkCapacitancePerCore},
+		{"GVertical", cfg.GVertical},
+		{"GSpreaderSink", cfg.GSpreaderSink},
+		{"GSinkAmbientPerCore", cfg.GSinkAmbientPerCore},
+	}
+	for _, c := range checks {
+		if c.v <= 0 {
+			return fmt.Errorf("thermal: %s must be positive, got %g", c.name, c.v)
+		}
+	}
+	if cfg.GLateralSi < 0 || cfg.GLateralSp < 0 {
+		return fmt.Errorf("thermal: lateral conductances must be non-negative")
+	}
+	if cfg.GSpreaderEdgeBonus < 0 {
+		return fmt.Errorf("thermal: spreader edge bonus must be non-negative, got %g", cfg.GSpreaderEdgeBonus)
+	}
+	return nil
+}
+
+// build assembles A, B and G. B is a weighted graph Laplacian plus the
+// ambient conductance on the sink's diagonal, hence symmetric positive
+// definite; the corresponding entry of G carries the same conductance so
+// that zero power yields T = ambient everywhere.
+func (m *Model) build() {
+	n := m.n
+	N := m.N
+	sink := 2 * n
+
+	m.aDiag = make([]float64, N)
+	m.g = make([]float64, N)
+	m.b = matrix.New(N, N)
+
+	for i := 0; i < n; i++ {
+		m.aDiag[i] = m.cfg.SiCapacitance
+		m.aDiag[n+i] = m.cfg.SpCapacitance
+	}
+	m.aDiag[sink] = m.cfg.SinkCapacitancePerCore * float64(n)
+
+	addCoupling := func(i, j int, g float64) {
+		if g == 0 {
+			return
+		}
+		m.b.Add(i, j, -g)
+		m.b.Add(j, i, -g)
+		m.b.Add(i, i, g)
+		m.b.Add(j, j, g)
+	}
+
+	for i := 0; i < n; i++ {
+		// Lateral couplings (count each edge once).
+		for _, nb := range m.fp.Neighbors(i) {
+			if nb > i {
+				addCoupling(i, nb, m.cfg.GLateralSi)
+				addCoupling(n+i, n+nb, m.cfg.GLateralSp)
+			}
+		}
+		// Vertical stack. Border spreader cells conduct extra heat to the
+		// sink through the spreader area extending beyond the die.
+		addCoupling(i, n+i, m.cfg.GVertical)
+		exposed := 4 - len(m.fp.Neighbors(i))
+		gSink := m.cfg.GSpreaderSink * (1 + m.cfg.GSpreaderEdgeBonus*float64(exposed))
+		addCoupling(n+i, sink, gSink)
+	}
+
+	gAmb := m.cfg.GSinkAmbientPerCore * float64(n)
+	m.b.Add(sink, sink, gAmb)
+	m.g[sink] = gAmb
+}
+
+// NumCores returns the number of cores n.
+func (m *Model) NumCores() int { return m.n }
+
+// NumNodes returns the number of thermal nodes N = 2n+1.
+func (m *Model) NumNodes() int { return m.N }
+
+// Ambient returns the ambient temperature in °C.
+func (m *Model) Ambient() float64 { return m.cfg.Ambient }
+
+// Floorplan returns the floorplan the model was built over.
+func (m *Model) Floorplan() *floorplan.Floorplan { return m.fp }
+
+// ADiag returns a copy of the diagonal of the capacitance matrix A.
+func (m *Model) ADiag() []float64 {
+	out := make([]float64, len(m.aDiag))
+	copy(out, m.aDiag)
+	return out
+}
+
+// B returns a copy of the conductance matrix.
+func (m *Model) B() *matrix.Dense { return m.b.Clone() }
+
+// BInv returns the precomputed B⁻¹. The caller must not modify it.
+func (m *Model) BInv() *matrix.Dense { return m.binv }
+
+// G returns a copy of the ambient conductance vector.
+func (m *Model) G() []float64 {
+	out := make([]float64, len(m.g))
+	copy(out, m.g)
+	return out
+}
+
+// Eigen returns the factorization of A⁻¹B: positive eigenvalues Lambda,
+// eigenvectors V and V⁻¹. The eigenvalues of C = −A⁻¹B are −Lambda.
+// Callers must not modify the returned value.
+func (m *Model) Eigen() *matrix.GeneralizedEigen { return m.eig }
+
+// AmbientSteady returns the all-idle steady state B⁻¹·T_amb·G (= ambient at
+// every node). The caller must not modify it.
+func (m *Model) AmbientSteady() []float64 { return m.steadyAmbient }
+
+// ExtendPower lifts a per-core power vector (length n) to a per-node vector
+// (length N) with zeros on spreader and sink nodes.
+func (m *Model) ExtendPower(coreWatts []float64) []float64 {
+	if len(coreWatts) != m.n {
+		panic(fmt.Sprintf("thermal: power vector length %d, want %d cores", len(coreWatts), m.n))
+	}
+	p := make([]float64, m.N)
+	copy(p, coreWatts)
+	return p
+}
+
+// SteadyState solves Eq. 3: T_steady = B⁻¹P + B⁻¹·T_amb·G for a per-core
+// power vector, returning the temperature of all N nodes in °C.
+func (m *Model) SteadyState(coreWatts []float64) []float64 {
+	p := m.ExtendPower(coreWatts)
+	t := m.binv.MulVec(p)
+	matrix.VecAddTo(t, m.steadyAmbient)
+	return t
+}
+
+// InitialTemps returns the simulation starting point: every node at ambient
+// (the paper's T_init assumption in §IV).
+func (m *Model) InitialTemps() []float64 {
+	return matrix.Constant(m.N, m.cfg.Ambient)
+}
+
+// MaxCoreTemp returns the hottest core temperature in the node vector t.
+func (m *Model) MaxCoreTemp(t []float64) float64 {
+	return matrix.VecMax(t[:m.n])
+}
+
+// HottestCore returns the index of the hottest core in t.
+func (m *Model) HottestCore(t []float64) int {
+	return matrix.VecMaxIndex(t[:m.n])
+}

@@ -1,0 +1,65 @@
+package thermal
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Stepper advances the transient thermal state with a fixed step dt using the
+// exact matrix-exponential solution of Eq. 4 (the MatEx method [22]):
+//
+//	T(t+dt) = T_steady(P) + e^{C·dt} (T(t) − T_steady(P))
+//
+// e^{C·dt} is computed once from the model's eigendecomposition, so each step
+// costs one matrix–vector product (O(N²)). The solution is exact for power
+// held constant over the step — the interval-simulation contract.
+type Stepper struct {
+	m   *Model
+	dt  float64
+	exp *matrix.Dense // e^{C·dt}
+}
+
+// NewStepper precomputes the propagator for step size dt (seconds).
+func (m *Model) NewStepper(dt float64) (*Stepper, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("thermal: step size must be positive, got %g", dt)
+	}
+	negLambda := matrix.VecScale(-1, m.eig.Lambda) // eigenvalues of C
+	exp := matrix.ExpmEigen(m.eig.V, negLambda, m.eig.VInv, dt)
+	return &Stepper{m: m, dt: dt, exp: exp}, nil
+}
+
+// Dt returns the step size in seconds.
+func (s *Stepper) Dt() float64 { return s.dt }
+
+// Step advances the node temperature vector t by dt under the per-core power
+// vector coreWatts (held constant for the step) and returns the new node
+// temperatures.
+func (s *Stepper) Step(t []float64, coreWatts []float64) []float64 {
+	if len(t) != s.m.N {
+		panic(fmt.Sprintf("thermal: temperature vector length %d, want %d", len(t), s.m.N))
+	}
+	tss := s.m.SteadyState(coreWatts)
+	diff := matrix.VecSub(t, tss)
+	next := s.exp.MulVec(diff)
+	matrix.VecAddTo(next, tss)
+	return next
+}
+
+// Propagator returns e^{C·dt}. The caller must not modify it.
+func (s *Stepper) Propagator() *matrix.Dense { return s.exp }
+
+// Transient simulates from the initial node temperatures t0 under a sequence
+// of per-core power vectors (one per step) and returns the temperature
+// trajectory including the initial point: len(powers)+1 node vectors.
+func (s *Stepper) Transient(t0 []float64, powers [][]float64) [][]float64 {
+	out := make([][]float64, 0, len(powers)+1)
+	cur := append([]float64(nil), t0...)
+	out = append(out, append([]float64(nil), cur...))
+	for _, p := range powers {
+		cur = s.Step(cur, p)
+		out = append(out, append([]float64(nil), cur...))
+	}
+	return out
+}

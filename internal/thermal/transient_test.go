@@ -1,0 +1,232 @@
+package thermal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+	"repro/internal/matrix"
+)
+
+func TestNewStepperValidation(t *testing.T) {
+	m := testModel(t, 2, 2)
+	if _, err := m.NewStepper(0); err == nil {
+		t.Error("expected error for zero dt")
+	}
+	if _, err := m.NewStepper(-1e-3); err == nil {
+		t.Error("expected error for negative dt")
+	}
+}
+
+func TestStepperHoldsAmbientWithoutPower(t *testing.T) {
+	m := testModel(t, 4, 4)
+	s, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := m.InitialTemps()
+	for i := 0; i < 50; i++ {
+		tv = s.Step(tv, make([]float64, 16))
+	}
+	for i, temp := range tv {
+		if math.Abs(temp-m.Ambient()) > 1e-6 {
+			t.Fatalf("node %d drifted to %v without power", i, temp)
+		}
+	}
+}
+
+func TestStepperConvergesToSteadyState(t *testing.T) {
+	m := testModel(t, 4, 4)
+	s, err := m.NewStepper(10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := matrix.Constant(16, 3)
+	ss := m.SteadyState(p)
+	tv := m.InitialTemps()
+	// 30 s of simulated time — far beyond every time constant (the slowest
+	// eigenmode, the heatsink, has τ ≈ 1 s).
+	for i := 0; i < 3000; i++ {
+		tv = s.Step(tv, p)
+	}
+	if !matrix.VecApproxEqual(tv, ss, 1e-3) {
+		t.Fatalf("transient did not converge to steady state:\n%v\nvs\n%v", tv, ss)
+	}
+}
+
+func TestStepperExactSemigroup(t *testing.T) {
+	// The matrix-exponential step is exact for constant power: one 1 ms step
+	// equals ten 0.1 ms steps.
+	m := testModel(t, 4, 4)
+	coarse, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := m.NewStepper(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 16)
+	p[5], p[10] = 8, 8
+	tc := coarse.Step(m.InitialTemps(), p)
+	tf := m.InitialTemps()
+	for i := 0; i < 10; i++ {
+		tf = fine.Step(tf, p)
+	}
+	if !matrix.VecApproxEqual(tc, tf, 1e-8) {
+		t.Fatal("coarse step disagrees with composed fine steps")
+	}
+}
+
+func TestStepperHeatingIsMonotoneFromAmbient(t *testing.T) {
+	m := testModel(t, 4, 4)
+	s, err := m.NewStepper(0.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 16)
+	p[5] = 8
+	tv := m.InitialTemps()
+	prev := tv[5]
+	for i := 0; i < 40; i++ {
+		tv = s.Step(tv, p)
+		if tv[5] < prev-1e-9 {
+			t.Fatalf("heating core cooled at step %d: %v -> %v", i, prev, tv[5])
+		}
+		prev = tv[5]
+	}
+}
+
+func TestStepperCoolsAfterPowerRemoved(t *testing.T) {
+	m := testModel(t, 4, 4)
+	s, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 16)
+	p[5] = 9
+	tv := m.InitialTemps()
+	for i := 0; i < 30; i++ {
+		tv = s.Step(tv, p)
+	}
+	hot := tv[5]
+	for i := 0; i < 30; i++ {
+		tv = s.Step(tv, make([]float64, 16))
+	}
+	if tv[5] >= hot {
+		t.Fatalf("core did not cool after power removal: %v -> %v", hot, tv[5])
+	}
+}
+
+func TestSiliconTimeConstantSuitsRotation(t *testing.T) {
+	// The rotation story requires the silicon node to respond on the ~ms
+	// scale: fast enough to matter within a trace, slow enough that a 0.5 ms
+	// rotation epoch averages the temperature. After 0.5 ms of 8 W the core
+	// must have covered neither <5% nor >70% of its way to steady state.
+	m := testModel(t, 4, 4)
+	s, err := m.NewStepper(0.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 16)
+	p[5] = 8
+	ss := m.SteadyState(p)
+	tv := s.Step(m.InitialTemps(), p)
+	progress := (tv[5] - m.Ambient()) / (ss[5] - m.Ambient())
+	if progress < 0.05 || progress > 0.7 {
+		t.Errorf("0.5 ms progress toward steady = %.2f, want 0.05–0.7", progress)
+	}
+}
+
+func TestTransientTrajectoryShape(t *testing.T) {
+	m := testModel(t, 2, 2)
+	s, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := [][]float64{
+		matrix.Constant(4, 1),
+		matrix.Constant(4, 2),
+		matrix.Constant(4, 0),
+	}
+	traj := s.Transient(m.InitialTemps(), powers)
+	if len(traj) != 4 {
+		t.Fatalf("trajectory length %d, want 4", len(traj))
+	}
+	if traj[0][0] != m.Ambient() {
+		t.Error("trajectory does not start at the initial state")
+	}
+	// Mutating the trajectory must not alias internal state.
+	traj[1][0] = -1
+	if traj[0][0] == -1 {
+		t.Error("trajectory rows alias each other")
+	}
+}
+
+func TestStepPanicsOnWrongLength(t *testing.T) {
+	m := testModel(t, 2, 2)
+	s, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short temperature vector")
+		}
+	}()
+	s.Step(make([]float64, 3), make([]float64, 4))
+}
+
+// Property: temperatures stay between ambient and the hot steady state when
+// heating from ambient with constant power.
+func TestPropTransientBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, err := New(floorplan.MustNew(3, 3, 0.0009), DefaultConfig())
+		if err != nil {
+			return false
+		}
+		s, err := m.NewStepper(0.5e-3)
+		if err != nil {
+			return false
+		}
+		p := make([]float64, 9)
+		for i := range p {
+			p[i] = r.Float64() * 6
+		}
+		ss := m.SteadyState(p)
+		tv := m.InitialTemps()
+		for step := 0; step < 50; step++ {
+			tv = s.Step(tv, p)
+			for i := range tv {
+				if tv[i] < m.Ambient()-1e-6 || tv[i] > ss[i]+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStepper64Core(b *testing.B) {
+	m, err := New(floorplan.MustNew(8, 8, 0.0009), DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := m.NewStepper(0.1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := matrix.Constant(64, 3)
+	tv := m.InitialTemps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tv = s.Step(tv, p)
+	}
+	_ = tv
+}

@@ -1,0 +1,65 @@
+package tracerec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// heatRamp maps normalized temperature to glyphs, cold to hot.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a per-core temperature vector as an ASCII grid (row-major,
+// width×height cores) with a scale legend. Temperatures map linearly from lo
+// (coldest glyph) to hi (hottest); values outside clamp.
+func Heatmap(temps []float64, width, height int, lo, hi float64) (string, error) {
+	if width < 1 || height < 1 {
+		return "", fmt.Errorf("tracerec: invalid grid %dx%d", width, height)
+	}
+	if len(temps) != width*height {
+		return "", fmt.Errorf("tracerec: %d temperatures for %dx%d grid", len(temps), width, height)
+	}
+	if hi <= lo {
+		return "", fmt.Errorf("tracerec: invalid range [%g, %g]", lo, hi)
+	}
+	var sb strings.Builder
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			t := temps[y*width+x]
+			frac := (t - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			idx := int(frac * float64(len(heatRamp)-1))
+			sb.WriteByte(heatRamp[idx])
+			sb.WriteByte(heatRamp[idx]) // double width: squarer cells
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scale: '%c' ≤ %.1f °C … '%c' ≥ %.1f °C\n",
+		heatRamp[0], lo, heatRamp[len(heatRamp)-1], hi)
+	return sb.String(), nil
+}
+
+// HottestSampleHeatmap renders the recorded sample with the highest
+// single-core temperature — the moment the chip ran hottest.
+func (r *Recorder) HottestSampleHeatmap(width, height int, lo, hi float64) (string, error) {
+	if r.Len() == 0 {
+		return "", fmt.Errorf("tracerec: no samples recorded")
+	}
+	maxSeries := r.MaxTempSeries()
+	best := 0
+	for i, v := range maxSeries {
+		if v > maxSeries[best] {
+			best = i
+		}
+	}
+	grid, err := Heatmap(r.temps[best], width, height, lo, hi)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("t = %.1f ms (hottest sample, max %.2f °C)\n%s",
+		r.times[best]*1e3, maxSeries[best], grid), nil
+}

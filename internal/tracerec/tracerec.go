@@ -1,0 +1,163 @@
+// Package tracerec collects per-slice simulation traces (temperatures,
+// powers, frequencies) and turns them into CSV files, time series, and
+// summary statistics — the raw material of the paper's Fig. 2 plots.
+package tracerec
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+)
+
+// Recorder accumulates simulation trace samples. Install Hook() on a
+// simulation via SetTrace before Run.
+type Recorder struct {
+	stride int
+	slice  int
+
+	times []float64
+	temps [][]float64
+	watts [][]float64
+	freqs [][]float64
+}
+
+// New creates a recorder that keeps every stride-th slice (stride ≥ 1).
+func New(stride int) (*Recorder, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("tracerec: stride must be ≥ 1, got %d", stride)
+	}
+	return &Recorder{stride: stride}, nil
+}
+
+// Hook returns the observer to install with Simulator.SetTrace.
+func (r *Recorder) Hook() func(t float64, coreTemps, coreWatts, coreFreq []float64) {
+	return func(t float64, coreTemps, coreWatts, coreFreq []float64) {
+		if r.slice%r.stride == 0 {
+			r.times = append(r.times, t)
+			r.temps = append(r.temps, append([]float64(nil), coreTemps...))
+			r.watts = append(r.watts, append([]float64(nil), coreWatts...))
+			r.freqs = append(r.freqs, append([]float64(nil), coreFreq...))
+		}
+		r.slice++
+	}
+}
+
+// Len returns the number of recorded samples.
+func (r *Recorder) Len() int { return len(r.times) }
+
+// Cores returns the number of cores per sample (0 before any sample).
+func (r *Recorder) Cores() int {
+	if len(r.temps) == 0 {
+		return 0
+	}
+	return len(r.temps[0])
+}
+
+// Times returns a copy of the sample timestamps.
+func (r *Recorder) Times() []float64 {
+	return append([]float64(nil), r.times...)
+}
+
+// TempSeries returns the temperature time series of one core.
+func (r *Recorder) TempSeries(core int) []float64 {
+	out := make([]float64, len(r.temps))
+	for i, row := range r.temps {
+		out[i] = row[core]
+	}
+	return out
+}
+
+// MaxTempSeries returns, per sample, the hottest core temperature.
+func (r *Recorder) MaxTempSeries() []float64 {
+	out := make([]float64, len(r.temps))
+	for i, row := range r.temps {
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// TotalPowerSeries returns, per sample, the summed core power.
+func (r *Recorder) TotalPowerSeries() []float64 {
+	out := make([]float64, len(r.watts))
+	for i, row := range r.watts {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// TempSummary summarises the hottest-core series.
+func (r *Recorder) TempSummary() stats.Summary {
+	return stats.Summarize(r.MaxTempSeries())
+}
+
+// WriteTemperatureCSV writes "time_ms, core0_C, core1_C, ..." rows.
+func (r *Recorder) WriteTemperatureCSV(w io.Writer) error {
+	if r.Len() == 0 {
+		return fmt.Errorf("tracerec: no samples recorded")
+	}
+	if _, err := fmt.Fprint(w, "time_ms"); err != nil {
+		return err
+	}
+	for c := 0; c < r.Cores(); c++ {
+		if _, err := fmt.Fprintf(w, ", core%d_C", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, t := range r.times {
+		if _, err := fmt.Fprintf(w, "%.3f", t*1e3); err != nil {
+			return err
+		}
+		for _, v := range r.temps[i] {
+			if _, err := fmt.Fprintf(w, ", %.3f", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummaryCSV writes one row per sample: time, max temp, total power,
+// and min/max frequency — a compact overview trace.
+func (r *Recorder) WriteSummaryCSV(w io.Writer) error {
+	if r.Len() == 0 {
+		return fmt.Errorf("tracerec: no samples recorded")
+	}
+	if _, err := fmt.Fprintln(w, "time_ms, max_temp_C, total_power_W, fmin_GHz, fmax_GHz"); err != nil {
+		return err
+	}
+	maxT := r.MaxTempSeries()
+	power := r.TotalPowerSeries()
+	for i, t := range r.times {
+		lo, hi := r.freqs[i][0], r.freqs[i][0]
+		for _, f := range r.freqs[i][1:] {
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%.3f, %.3f, %.3f, %.2f, %.2f\n",
+			t*1e3, maxT[i], power[i], lo/1e9, hi/1e9); err != nil {
+			return err
+		}
+	}
+	return nil
+}

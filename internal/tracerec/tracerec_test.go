@@ -1,0 +1,213 @@
+package tracerec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero stride accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative stride accepted")
+	}
+}
+
+func TestRecorderAgainstLiveSimulation(t *testing.T) {
+	plat, err := sim.NewPlatform(sim.DefaultPlatformConfig(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := workload.NewTask(0, b, 2, 0, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := map[sim.ThreadID]int{
+		{Task: 0, Thread: 0}: 5,
+		{Task: 0, Thread: 1}: 10,
+	}
+	s, err := sim.New(plat, sim.DefaultConfig(), sched.NewStatic(pins, 0), []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTrace(rec.Hook())
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	if rec.Cores() != 16 {
+		t.Fatalf("cores = %d", rec.Cores())
+	}
+	// Stride honoured: roughly a third of the slices.
+	totalSlices := int(res.SimulatedTime/sim.DefaultConfig().TimeSlice + 0.5)
+	if rec.Len() > totalSlices/3+2 {
+		t.Errorf("recorded %d of %d slices with stride 3", rec.Len(), totalSlices)
+	}
+
+	// Times strictly increasing.
+	times := rec.Times()
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			t.Fatal("times not monotone")
+		}
+	}
+
+	// The powered core's series must heat above ambient; the recorder's max
+	// series must bound every individual series.
+	series5 := rec.TempSeries(5)
+	maxSeries := rec.MaxTempSeries()
+	if series5[len(series5)-1] <= plat.Thermal.Ambient() {
+		t.Error("powered core never heated in the trace")
+	}
+	for i := range maxSeries {
+		if series5[i] > maxSeries[i]+1e-9 {
+			t.Fatal("max series not an upper bound")
+		}
+	}
+
+	// Total power must at least cover idle for all cores.
+	for _, p := range rec.TotalPowerSeries() {
+		if p < 16*plat.Power.IdleWatts-1e-9 {
+			t.Fatalf("total power %v below idle floor", p)
+		}
+	}
+
+	// Summary is coherent with the series.
+	sum := rec.TempSummary()
+	if sum.N != rec.Len() || sum.Max < sum.Min {
+		t.Errorf("summary %+v", sum)
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	rec, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := rec.Hook()
+	hook(0.001, []float64{50, 51}, []float64{1, 2}, []float64{4e9, 3e9})
+	hook(0.002, []float64{52, 50}, []float64{2, 1}, []float64{4e9, 4e9})
+
+	var buf bytes.Buffer
+	if err := rec.WriteTemperatureCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "time_ms, core0_C, core1_C") {
+		t.Errorf("temperature header: %q", out)
+	}
+	if !strings.Contains(out, "52.000") {
+		t.Errorf("missing sample: %q", out)
+	}
+
+	buf.Reset()
+	if err := rec.WriteSummaryCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "max_temp_C") || !strings.Contains(out, "3.00, 4.00") {
+		t.Errorf("summary CSV: %q", out)
+	}
+}
+
+func TestCSVEmptyRecorderErrors(t *testing.T) {
+	rec, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteTemperatureCSV(&buf); err == nil {
+		t.Error("empty temperature CSV accepted")
+	}
+	if err := rec.WriteSummaryCSV(&buf); err == nil {
+		t.Error("empty summary CSV accepted")
+	}
+}
+
+func TestHeatmapRendering(t *testing.T) {
+	temps := []float64{45, 55, 65, 75}
+	out, err := Heatmap(temps, 2, 2, 45, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // 2 rows + legend
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if len(lines[0]) != 4 { // 2 cores × 2 glyphs
+		t.Fatalf("row width = %d", len(lines[0]))
+	}
+	// Coldest cell uses the coldest glyph, hottest the hottest.
+	if lines[0][0] != ' ' {
+		t.Errorf("cold cell glyph %q", lines[0][0])
+	}
+	if lines[1][2] != '@' {
+		t.Errorf("hot cell glyph %q", lines[1][2])
+	}
+	if !strings.Contains(out, "scale:") {
+		t.Error("legend missing")
+	}
+}
+
+func TestHeatmapValidation(t *testing.T) {
+	if _, err := Heatmap([]float64{1}, 2, 2, 0, 1); err == nil {
+		t.Error("wrong-length temps accepted")
+	}
+	if _, err := Heatmap([]float64{1, 2, 3, 4}, 0, 4, 0, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := Heatmap([]float64{1, 2, 3, 4}, 2, 2, 5, 5); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHeatmapClamping(t *testing.T) {
+	out, err := Heatmap([]float64{-100, 1000}, 2, 1, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := strings.Split(out, "\n")[0]
+	if row[0] != ' ' || row[2] != '@' {
+		t.Errorf("clamping wrong: %q", row)
+	}
+}
+
+func TestHottestSampleHeatmap(t *testing.T) {
+	rec, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := rec.Hook()
+	hook(0.001, []float64{50, 50, 50, 50}, make([]float64, 4), make([]float64, 4))
+	hook(0.002, []float64{50, 72, 50, 50}, make([]float64, 4), make([]float64, 4)) // hottest
+	hook(0.003, []float64{55, 55, 55, 55}, make([]float64, 4), make([]float64, 4))
+	out, err := rec.HottestSampleHeatmap(2, 2, 45, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "t = 2.0 ms") || !strings.Contains(out, "72.00") {
+		t.Errorf("hottest sample heatmap: %q", out)
+	}
+	empty, _ := New(1)
+	if _, err := empty.HottestSampleHeatmap(2, 2, 45, 75); err == nil {
+		t.Error("empty recorder heatmap accepted")
+	}
+}

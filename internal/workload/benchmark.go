@@ -1,0 +1,221 @@
+// Package workload models the PARSEC benchmarks the paper evaluates with
+// (§VI, sim-small inputs) as interval-level synthetic workloads: each
+// benchmark is described by its CPI stack, nominal power, total work, and a
+// phase structure of serial (master-only) and parallel (worker) regions
+// separated by barriers. The blackscholes model reproduces the three-phase
+// master/slave alternation of the paper's Fig. 2 walkthrough.
+//
+// The package also generates the paper's two workload scenarios: homogeneous
+// full-load mixes (Fig. 4a) and random multi-program mixes with Poisson
+// arrivals (Fig. 4b).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+// PhaseKind distinguishes serial from parallel benchmark regions.
+type PhaseKind int
+
+const (
+	// Serial phases execute on the master thread only; workers idle at the
+	// barrier (blackscholes Phase ① and ③ in the paper's Fig. 2).
+	Serial PhaseKind = iota
+	// Parallel phases split their work evenly across the worker threads; the
+	// master idles (blackscholes Phase ②). A single-threaded task runs
+	// parallel phases on its only thread.
+	Parallel
+)
+
+// String implements fmt.Stringer.
+func (k PhaseKind) String() string {
+	switch k {
+	case Serial:
+		return "serial"
+	case Parallel:
+		return "parallel"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one region of a benchmark: Frac of the benchmark's total
+// instructions executed in the given mode.
+type Phase struct {
+	Kind PhaseKind
+	Frac float64
+}
+
+// Benchmark is the interval-level model of one PARSEC application.
+type Benchmark struct {
+	Name string
+
+	// NominalWatts is the core power of one actively computing thread at
+	// peak frequency (4 GHz).
+	NominalWatts float64
+
+	// CPI stack parameters (see internal/perf).
+	BaseCPI float64
+	MPKI    float64
+	// LLCMissRatio is the fraction of LLC accesses missing off-chip
+	// (canneal's working set famously exceeds any LLC; blackscholes is
+	// cache-resident).
+	LLCMissRatio float64
+
+	// Work is the total instruction count of the benchmark at the reference
+	// (sim-small) input size, summed over all phases.
+	Work float64
+
+	// Phases in execution order; Frac values sum to 1.
+	Phases []Phase
+}
+
+// Perf returns the benchmark's CPI-stack parameters.
+func (b Benchmark) Perf() perf.Params {
+	return perf.Params{BaseCPI: b.BaseCPI, MPKI: b.MPKI, LLCMissRatio: b.LLCMissRatio}
+}
+
+// Validate checks internal consistency.
+func (b Benchmark) Validate() error {
+	if b.Name == "" {
+		return fmt.Errorf("workload: benchmark has no name")
+	}
+	if b.NominalWatts <= 0 {
+		return fmt.Errorf("workload: %s: nominal power must be positive", b.Name)
+	}
+	if err := b.Perf().Validate(); err != nil {
+		return fmt.Errorf("workload: %s: %w", b.Name, err)
+	}
+	if b.Work <= 0 {
+		return fmt.Errorf("workload: %s: work must be positive", b.Name)
+	}
+	if len(b.Phases) == 0 {
+		return fmt.Errorf("workload: %s: needs at least one phase", b.Name)
+	}
+	sum := 0.0
+	for i, ph := range b.Phases {
+		if ph.Frac <= 0 {
+			return fmt.Errorf("workload: %s: phase %d has non-positive fraction", b.Name, i)
+		}
+		if ph.Kind != Serial && ph.Kind != Parallel {
+			return fmt.Errorf("workload: %s: phase %d has unknown kind", b.Name, i)
+		}
+		sum += ph.Frac
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("workload: %s: phase fractions sum to %g, want 1", b.Name, sum)
+	}
+	return nil
+}
+
+// PARSEC returns the eight benchmarks of the paper's evaluation (§VI), in
+// the order of Fig. 4(a). Power and CPI-stack values are calibrated to the
+// qualitative characterisation the paper relies on: blackscholes/swaptions
+// hot and compute-bound, canneal cool and memory-intensive ("produces very
+// little heat", §VI), streamcluster memory-streaming, the rest in between.
+func PARSEC() []Benchmark {
+	return []Benchmark{
+		{
+			Name:         "blackscholes",
+			NominalWatts: 9.0,
+			BaseCPI:      0.8,
+			MPKI:         1.0,
+			LLCMissRatio: 0.02,
+			Work:         2.6e8,
+			// The Fig. 2 structure: master data preparation, worker pricing
+			// loop, master wrap-up.
+			Phases: []Phase{{Serial, 0.25}, {Parallel, 0.55}, {Serial, 0.20}},
+		},
+		{
+			Name:         "bodytrack",
+			NominalWatts: 7.5,
+			BaseCPI:      0.9,
+			MPKI:         3.0,
+			LLCMissRatio: 0.05,
+			Work:         3.2e8,
+			Phases: []Phase{
+				{Serial, 0.10}, {Parallel, 0.40}, {Serial, 0.10},
+				{Parallel, 0.30}, {Serial, 0.10},
+			},
+		},
+		{
+			Name:         "canneal",
+			NominalWatts: 4.0,
+			BaseCPI:      1.2,
+			MPKI:         25.0,
+			LLCMissRatio: 0.30,
+			Work:         2.0e8,
+			Phases:       []Phase{{Serial, 0.05}, {Parallel, 0.90}, {Serial, 0.05}},
+		},
+		{
+			Name:         "dedup",
+			NominalWatts: 6.5,
+			BaseCPI:      1.0,
+			MPKI:         8.0,
+			LLCMissRatio: 0.10,
+			Work:         3.0e8,
+			Phases:       []Phase{{Serial, 0.10}, {Parallel, 0.70}, {Serial, 0.20}},
+		},
+		{
+			Name:         "fluidanimate",
+			NominalWatts: 7.0,
+			BaseCPI:      0.9,
+			MPKI:         6.0,
+			LLCMissRatio: 0.08,
+			Work:         3.6e8,
+			Phases:       []Phase{{Serial, 0.05}, {Parallel, 0.85}, {Serial, 0.10}},
+		},
+		{
+			Name:         "streamcluster",
+			NominalWatts: 5.5,
+			BaseCPI:      1.0,
+			MPKI:         15.0,
+			LLCMissRatio: 0.25,
+			Work:         3.4e8,
+			Phases:       []Phase{{Serial, 0.05}, {Parallel, 0.80}, {Serial, 0.15}},
+		},
+		{
+			Name:         "swaptions",
+			NominalWatts: 8.5,
+			BaseCPI:      0.7,
+			MPKI:         0.5,
+			LLCMissRatio: 0.01,
+			Work:         3.0e8,
+			Phases:       []Phase{{Serial, 0.05}, {Parallel, 0.90}, {Serial, 0.05}},
+		},
+		{
+			Name:         "x264",
+			NominalWatts: 8.0,
+			BaseCPI:      0.85,
+			MPKI:         4.0,
+			LLCMissRatio: 0.06,
+			Work:         3.3e8,
+			Phases:       []Phase{{Parallel, 0.85}, {Serial, 0.15}},
+		},
+	}
+}
+
+// ByName returns the PARSEC benchmark with the given name.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range PARSEC() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the benchmark names in Fig. 4(a) order.
+func Names() []string {
+	bs := PARSEC()
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Name
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// benchmarkJSON is the on-disk schema for custom benchmark models, so users
+// can define workloads without recompiling:
+//
+//	[
+//	  {
+//	    "name": "mykernel",
+//	    "nominal_watts": 7.5,
+//	    "base_cpi": 0.9,
+//	    "mpki": 4,
+//	    "work": 3.0e8,
+//	    "phases": [
+//	      {"kind": "serial", "frac": 0.1},
+//	      {"kind": "parallel", "frac": 0.8},
+//	      {"kind": "serial", "frac": 0.1}
+//	    ]
+//	  }
+//	]
+type benchmarkJSON struct {
+	Name         string      `json:"name"`
+	NominalWatts float64     `json:"nominal_watts"`
+	BaseCPI      float64     `json:"base_cpi"`
+	MPKI         float64     `json:"mpki"`
+	LLCMissRatio float64     `json:"llc_miss_ratio,omitempty"`
+	Work         float64     `json:"work"`
+	Phases       []phaseJSON `json:"phases"`
+}
+
+type phaseJSON struct {
+	Kind string  `json:"kind"`
+	Frac float64 `json:"frac"`
+}
+
+// FromJSON decodes a benchmark list from r and validates every entry.
+func FromJSON(r io.Reader) ([]Benchmark, error) {
+	var raw []benchmarkJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("workload: decoding benchmarks: %w", err)
+	}
+	out := make([]Benchmark, 0, len(raw))
+	for _, rb := range raw {
+		b := Benchmark{
+			Name:         rb.Name,
+			NominalWatts: rb.NominalWatts,
+			BaseCPI:      rb.BaseCPI,
+			MPKI:         rb.MPKI,
+			LLCMissRatio: rb.LLCMissRatio,
+			Work:         rb.Work,
+		}
+		for _, ph := range rb.Phases {
+			kind, err := parsePhaseKind(ph.Kind)
+			if err != nil {
+				return nil, fmt.Errorf("workload: %s: %w", rb.Name, err)
+			}
+			b.Phases = append(b.Phases, Phase{Kind: kind, Frac: ph.Frac})
+		}
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: no benchmarks in input")
+	}
+	return out, nil
+}
+
+// ToJSON encodes benchmarks in the FromJSON schema (indented).
+func ToJSON(w io.Writer, benchmarks []Benchmark) error {
+	raw := make([]benchmarkJSON, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		if err := b.Validate(); err != nil {
+			return err
+		}
+		rb := benchmarkJSON{
+			Name:         b.Name,
+			NominalWatts: b.NominalWatts,
+			BaseCPI:      b.BaseCPI,
+			MPKI:         b.MPKI,
+			LLCMissRatio: b.LLCMissRatio,
+			Work:         b.Work,
+		}
+		for _, ph := range b.Phases {
+			rb.Phases = append(rb.Phases, phaseJSON{Kind: ph.Kind.String(), Frac: ph.Frac})
+		}
+		raw = append(raw, rb)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(raw)
+}
+
+func parsePhaseKind(s string) (PhaseKind, error) {
+	switch s {
+	case "serial":
+		return Serial, nil
+	case "parallel":
+		return Parallel, nil
+	default:
+		return 0, fmt.Errorf("unknown phase kind %q (want \"serial\" or \"parallel\")", s)
+	}
+}

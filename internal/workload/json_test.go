@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTripPARSEC(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ToJSON(&buf, PARSEC()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := PARSEC()
+	if len(decoded) != len(orig) {
+		t.Fatalf("decoded %d benchmarks, want %d", len(decoded), len(orig))
+	}
+	for i, b := range decoded {
+		o := orig[i]
+		if b.Name != o.Name || b.NominalWatts != o.NominalWatts ||
+			b.BaseCPI != o.BaseCPI || b.MPKI != o.MPKI || b.Work != o.Work {
+			t.Fatalf("benchmark %s scalar mismatch: %+v vs %+v", o.Name, b, o)
+		}
+		if len(b.Phases) != len(o.Phases) {
+			t.Fatalf("%s phase count mismatch", o.Name)
+		}
+		for j := range b.Phases {
+			if b.Phases[j].Kind != o.Phases[j].Kind ||
+				math.Abs(b.Phases[j].Frac-o.Phases[j].Frac) > 1e-12 {
+				t.Fatalf("%s phase %d mismatch", o.Name, j)
+			}
+		}
+	}
+}
+
+func TestFromJSONCustomBenchmark(t *testing.T) {
+	src := `[
+	  {
+	    "name": "mykernel",
+	    "nominal_watts": 7.5,
+	    "base_cpi": 0.9,
+	    "mpki": 4,
+	    "work": 3.0e8,
+	    "phases": [
+	      {"kind": "serial", "frac": 0.2},
+	      {"kind": "parallel", "frac": 0.8}
+	    ]
+	  }
+	]`
+	bs, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || bs[0].Name != "mykernel" {
+		t.Fatalf("decoded %+v", bs)
+	}
+	// The decoded benchmark must be usable as a task.
+	task, err := NewTask(0, bs[0], 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.State(0) != ThreadRunning {
+		t.Error("custom benchmark's serial phase not runnable")
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"bad kind":       `[{"name":"x","nominal_watts":5,"base_cpi":1,"mpki":1,"work":1e8,"phases":[{"kind":"weird","frac":1}]}]`,
+		"fractions != 1": `[{"name":"x","nominal_watts":5,"base_cpi":1,"mpki":1,"work":1e8,"phases":[{"kind":"serial","frac":0.5}]}]`,
+		"zero power":     `[{"name":"x","nominal_watts":0,"base_cpi":1,"mpki":1,"work":1e8,"phases":[{"kind":"serial","frac":1}]}]`,
+		"unknown field":  `[{"name":"x","nominal_watts":5,"base_cpi":1,"mpki":1,"work":1e8,"threads":4,"phases":[{"kind":"serial","frac":1}]}]`,
+		"empty list":     `[]`,
+		"not even json":  `{{{`,
+		"missing phases": `[{"name":"x","nominal_watts":5,"base_cpi":1,"mpki":1,"work":1e8}]`,
+		"negative mpki":  `[{"name":"x","nominal_watts":5,"base_cpi":1,"mpki":-2,"work":1e8,"phases":[{"kind":"serial","frac":1}]}]`,
+	}
+	for name, src := range cases {
+		if _, err := FromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestToJSONRejectsInvalidBenchmark(t *testing.T) {
+	bad := Benchmark{Name: "", NominalWatts: 1, BaseCPI: 1, Work: 1, Phases: []Phase{{Serial, 1}}}
+	var buf bytes.Buffer
+	if err := ToJSON(&buf, []Benchmark{bad}); err == nil {
+		t.Error("invalid benchmark encoded")
+	}
+}
+
+func TestJSONRoundTripsMissRatio(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ToJSON(&buf, PARSEC()); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := FromJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range decoded {
+		if b.LLCMissRatio != PARSEC()[i].LLCMissRatio {
+			t.Fatalf("%s miss ratio lost in round trip", b.Name)
+		}
+	}
+}
+
+// FuzzFromJSON asserts the parser never panics and that anything it accepts
+// is a valid, usable benchmark.
+func FuzzFromJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := ToJSON(&seed, PARSEC()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`[]`)
+	f.Add(`[{"name":"x","nominal_watts":5,"base_cpi":1,"mpki":1,"work":1e8,"phases":[{"kind":"serial","frac":1}]}]`)
+	f.Add(`{"not": "a list"}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		bs, err := FromJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, b := range bs {
+			if err := b.Validate(); err != nil {
+				t.Fatalf("FromJSON accepted invalid benchmark %q: %v", b.Name, err)
+			}
+			if _, err := NewTask(0, b, 2, 0, 1); err != nil {
+				t.Fatalf("accepted benchmark unusable: %v", err)
+			}
+		}
+	})
+}

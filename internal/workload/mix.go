@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec describes one task of a workload mix before instantiation.
+type Spec struct {
+	Bench     Benchmark
+	Threads   int
+	Arrival   float64
+	WorkScale float64
+}
+
+// Instantiate converts specs into live tasks with sequential IDs.
+func Instantiate(specs []Spec) ([]*Task, error) {
+	tasks := make([]*Task, 0, len(specs))
+	for i, s := range specs {
+		t, err := NewTask(i, s.Bench, s.Threads, s.Arrival, s.WorkScale)
+		if err != nil {
+			return nil, err
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// HomogeneousFullLoad builds the Fig. 4(a) scenario: vari-sized
+// multi-threaded instances of a single benchmark that together occupy
+// exactly totalThreads cores, all arriving at t=0 (a closed, fixed system).
+// Sizes cycle through the given list, truncating the last instance if needed.
+func HomogeneousFullLoad(b Benchmark, totalThreads int, sizes []int) ([]Spec, error) {
+	if totalThreads < 1 {
+		return nil, fmt.Errorf("workload: totalThreads must be positive, got %d", totalThreads)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("workload: need at least one instance size")
+	}
+	for _, s := range sizes {
+		if s < 1 {
+			return nil, fmt.Errorf("workload: instance size %d invalid", s)
+		}
+	}
+	var specs []Spec
+	remaining := totalThreads
+	for i := 0; remaining > 0; i++ {
+		threads := sizes[i%len(sizes)]
+		if threads > remaining {
+			threads = remaining
+		}
+		specs = append(specs, Spec{Bench: b, Threads: threads, Arrival: 0, WorkScale: 1})
+		remaining -= threads
+	}
+	return specs, nil
+}
+
+// RandomMix builds the Fig. 4(b) scenario: `count` tasks drawn uniformly from
+// the PARSEC set with random sizes, arriving as a Poisson process with the
+// given rate (tasks per second). Deterministic for a fixed seed.
+func RandomMix(count int, arrivalRate float64, seed int64) ([]Spec, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("workload: count must be positive, got %d", count)
+	}
+	if arrivalRate <= 0 {
+		return nil, fmt.Errorf("workload: arrival rate must be positive, got %g", arrivalRate)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bs := PARSEC()
+	sizes := []int{2, 4, 8}
+
+	specs := make([]Spec, 0, count)
+	now := 0.0
+	for i := 0; i < count; i++ {
+		now += rng.ExpFloat64() / arrivalRate
+		specs = append(specs, Spec{
+			Bench:     bs[rng.Intn(len(bs))],
+			Threads:   sizes[rng.Intn(len(sizes))],
+			Arrival:   now,
+			WorkScale: 0.5 + rng.Float64(), // instance-to-instance size jitter
+		})
+	}
+	return specs, nil
+}
+
+// TotalThreads sums the thread counts of a mix.
+func TotalThreads(specs []Spec) int {
+	total := 0
+	for _, s := range specs {
+		total += s.Threads
+	}
+	return total
+}

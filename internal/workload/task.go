@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThreadState reports what a thread is doing right now.
+type ThreadState int
+
+const (
+	// ThreadIdle: the thread is blocked at a phase barrier (or the phase
+	// does not involve it); the core burns idle power.
+	ThreadIdle ThreadState = iota
+	// ThreadRunning: the thread executes instructions.
+	ThreadRunning
+	// ThreadDone: the task has completed.
+	ThreadDone
+)
+
+// Task is a live multi-threaded benchmark instance: the runtime state built
+// from a Benchmark description. Thread 0 is the master.
+type Task struct {
+	ID      int
+	Bench   Benchmark
+	Threads int
+	Arrival float64 // seconds of simulated time
+
+	// WorkScale multiplies the benchmark's reference instruction count, so a
+	// mix can contain shorter and longer instances of the same benchmark.
+	WorkScale float64
+
+	phase     int       // index into Bench.Phases, == len(Phases) when done
+	remaining []float64 // per-thread instructions left in the current phase
+
+	StartTime  float64 // first time any thread executed; -1 before
+	FinishTime float64 // -1 until done
+}
+
+// NewTask instantiates a benchmark with the given thread count.
+func NewTask(id int, b Benchmark, threads int, arrival, workScale float64) (*Task, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("workload: task %d: need at least one thread, got %d", id, threads)
+	}
+	if workScale <= 0 {
+		return nil, fmt.Errorf("workload: task %d: work scale must be positive, got %g", id, workScale)
+	}
+	if arrival < 0 {
+		return nil, fmt.Errorf("workload: task %d: negative arrival %g", id, arrival)
+	}
+	t := &Task{
+		ID: id, Bench: b, Threads: threads, Arrival: arrival,
+		WorkScale: workScale, StartTime: -1, FinishTime: -1,
+		remaining: make([]float64, threads),
+	}
+	t.enterPhase(0)
+	return t, nil
+}
+
+// enterPhase loads the instruction budgets of phase idx.
+func (t *Task) enterPhase(idx int) {
+	t.phase = idx
+	if idx >= len(t.Bench.Phases) {
+		return
+	}
+	ph := t.Bench.Phases[idx]
+	budget := t.Bench.Work * t.WorkScale * ph.Frac
+	for i := range t.remaining {
+		t.remaining[i] = 0
+	}
+	for _, i := range t.activeThreads(ph) {
+		t.remaining[i] = budget / float64(len(t.activeThreads(ph)))
+	}
+}
+
+// activeThreads returns the thread indices that execute in phase ph.
+func (t *Task) activeThreads(ph Phase) []int {
+	if ph.Kind == Serial || t.Threads == 1 {
+		return []int{0}
+	}
+	// Workers are threads 1..T-1; the master idles (the paper's Fig. 2
+	// master/slave alternation).
+	out := make([]int, t.Threads-1)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// Done reports whether the task has completed all phases.
+func (t *Task) Done() bool { return t.phase >= len(t.Bench.Phases) }
+
+// Phase returns the current phase index (== number of phases when done).
+func (t *Task) Phase() int { return t.phase }
+
+// State returns what thread `idx` is doing.
+func (t *Task) State(idx int) ThreadState {
+	if t.Done() {
+		return ThreadDone
+	}
+	if t.remaining[idx] > 0 {
+		return ThreadRunning
+	}
+	return ThreadIdle
+}
+
+// Remaining returns the instructions thread idx still owes in this phase.
+func (t *Task) Remaining(idx int) float64 {
+	if t.Done() {
+		return 0
+	}
+	return t.remaining[idx]
+}
+
+// TotalRemaining returns the instructions left across all phases (current
+// phase residue plus untouched future phases).
+func (t *Task) TotalRemaining() float64 {
+	if t.Done() {
+		return 0
+	}
+	total := 0.0
+	for _, r := range t.remaining {
+		total += r
+	}
+	for i := t.phase + 1; i < len(t.Bench.Phases); i++ {
+		total += t.Bench.Work * t.WorkScale * t.Bench.Phases[i].Frac
+	}
+	return total
+}
+
+// Execute retires `instr` instructions on thread idx and advances the phase
+// barrier when every active thread of the phase has finished. It returns the
+// instructions actually consumed (≤ instr; less when the thread's phase
+// share completes first).
+func (t *Task) Execute(idx int, instr float64) float64 {
+	if t.Done() || instr <= 0 {
+		return 0
+	}
+	if t.remaining[idx] <= 0 {
+		return 0
+	}
+	used := math.Min(instr, t.remaining[idx])
+	t.remaining[idx] -= used
+	if t.remaining[idx] < 1e-6 { // absorb float dust at the barrier
+		t.remaining[idx] = 0
+	}
+	t.maybeAdvancePhase()
+	return used
+}
+
+func (t *Task) maybeAdvancePhase() {
+	for !t.Done() {
+		allDone := true
+		for _, r := range t.remaining {
+			if r > 0 {
+				allDone = false
+				break
+			}
+		}
+		if !allDone {
+			return
+		}
+		t.enterPhase(t.phase + 1)
+	}
+}
+
+// ResponseTime returns finish − arrival, or NaN before completion.
+func (t *Task) ResponseTime() float64 {
+	if t.FinishTime < 0 {
+		return math.NaN()
+	}
+	return t.FinishTime - t.Arrival
+}

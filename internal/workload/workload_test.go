@@ -1,0 +1,407 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPARSECAllValid(t *testing.T) {
+	bs := PARSEC()
+	if len(bs) != 8 {
+		t.Fatalf("benchmark count = %d, want 8 (paper §VI)", len(bs))
+	}
+	for _, b := range bs {
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+func TestPARSECPersonalities(t *testing.T) {
+	// The qualitative spectrum the paper's evaluation relies on.
+	get := func(name string) Benchmark {
+		b, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	canneal := get("canneal")
+	blackscholes := get("blackscholes")
+	swaptions := get("swaptions")
+	streamcluster := get("streamcluster")
+
+	if canneal.NominalWatts >= blackscholes.NominalWatts {
+		t.Error("canneal must be the cool benchmark (paper: 'produces very little heat')")
+	}
+	if canneal.MPKI <= streamcluster.MPKI {
+		t.Error("canneal must be the most memory-intensive")
+	}
+	if swaptions.MPKI >= blackscholes.MPKI {
+		t.Error("swaptions must be the most compute-bound")
+	}
+	for _, b := range PARSEC() {
+		if b.NominalWatts < canneal.NominalWatts {
+			t.Errorf("%s cooler than canneal", b.Name)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("ferret"); err == nil {
+		t.Error("ferret is excluded in the paper and must not resolve")
+	}
+}
+
+func TestNamesSortedComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("names = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("names not sorted")
+		}
+	}
+}
+
+func TestBenchmarkValidateRejects(t *testing.T) {
+	good, _ := ByName("blackscholes")
+	cases := []func(*Benchmark){
+		func(b *Benchmark) { b.Name = "" },
+		func(b *Benchmark) { b.NominalWatts = 0 },
+		func(b *Benchmark) { b.BaseCPI = 0 },
+		func(b *Benchmark) { b.MPKI = -1 },
+		func(b *Benchmark) { b.Work = 0 },
+		func(b *Benchmark) { b.Phases = nil },
+		func(b *Benchmark) { b.Phases = []Phase{{Serial, 0.5}} }, // doesn't sum to 1
+		func(b *Benchmark) { b.Phases = []Phase{{PhaseKind(9), 1}} },
+		func(b *Benchmark) { b.Phases = []Phase{{Serial, -0.2}, {Parallel, 1.2}} },
+	}
+	for i, mut := range cases {
+		b := good
+		b.Phases = append([]Phase(nil), good.Phases...)
+		mut(&b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid benchmark accepted", i)
+		}
+	}
+}
+
+func TestNewTaskValidation(t *testing.T) {
+	b, _ := ByName("blackscholes")
+	if _, err := NewTask(0, b, 0, 0, 1); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := NewTask(0, b, 2, -1, 1); err == nil {
+		t.Error("negative arrival accepted")
+	}
+	if _, err := NewTask(0, b, 2, 0, 0); err == nil {
+		t.Error("zero work scale accepted")
+	}
+}
+
+func TestTaskPhaseProgression(t *testing.T) {
+	// blackscholes 2 threads: serial (master), parallel (worker), serial.
+	b, _ := ByName("blackscholes")
+	task, err := NewTask(0, b, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.State(0) != ThreadRunning || task.State(1) != ThreadIdle {
+		t.Fatal("phase 1 must run master only")
+	}
+	// Finish the master's serial budget.
+	task.Execute(0, task.Remaining(0))
+	if task.Phase() != 1 {
+		t.Fatalf("phase = %d after serial completion, want 1", task.Phase())
+	}
+	if task.State(0) != ThreadIdle || task.State(1) != ThreadRunning {
+		t.Fatal("phase 2 must run the worker only (master idles, Fig. 2)")
+	}
+	task.Execute(1, task.Remaining(1))
+	if task.Phase() != 2 {
+		t.Fatalf("phase = %d, want 2", task.Phase())
+	}
+	task.Execute(0, task.Remaining(0))
+	if !task.Done() {
+		t.Fatal("task not done after all phases")
+	}
+	if task.State(0) != ThreadDone || task.State(1) != ThreadDone {
+		t.Fatal("threads not reported done")
+	}
+}
+
+func TestTaskSingleThreadRunsAllPhases(t *testing.T) {
+	b, _ := ByName("swaptions")
+	task, err := NewTask(0, b, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !task.Done() {
+		if task.State(0) != ThreadRunning {
+			t.Fatal("single thread must be active in every phase")
+		}
+		task.Execute(0, task.Remaining(0))
+	}
+}
+
+func TestTaskWorkConservation(t *testing.T) {
+	b, _ := ByName("bodytrack")
+	task, err := NewTask(0, b, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := task.TotalRemaining(); math.Abs(got-b.Work) > 1 {
+		t.Fatalf("initial TotalRemaining = %g, want Work %g", got, b.Work)
+	}
+	executed := 0.0
+	for !task.Done() {
+		progressed := false
+		for i := 0; i < 4; i++ {
+			used := task.Execute(i, 1e7)
+			executed += used
+			if used > 0 {
+				progressed = true
+			}
+		}
+		if !progressed {
+			t.Fatal("no thread can make progress but task not done")
+		}
+	}
+	if math.Abs(executed-b.Work) > 1 {
+		t.Fatalf("executed %g instructions, want %g", executed, b.Work)
+	}
+}
+
+func TestWorkScale(t *testing.T) {
+	b, _ := ByName("canneal")
+	small, _ := NewTask(0, b, 2, 0, 0.5)
+	big, _ := NewTask(1, b, 2, 0, 2)
+	if math.Abs(small.TotalRemaining()-0.5*b.Work) > 1 {
+		t.Errorf("small TotalRemaining = %g", small.TotalRemaining())
+	}
+	if math.Abs(big.TotalRemaining()-2*b.Work) > 1 {
+		t.Errorf("big TotalRemaining = %g", big.TotalRemaining())
+	}
+}
+
+func TestExecuteIgnoresIdleAndDone(t *testing.T) {
+	b, _ := ByName("blackscholes")
+	task, _ := NewTask(0, b, 2, 0, 1)
+	if used := task.Execute(1, 1e6); used != 0 {
+		t.Error("idle worker executed instructions in serial phase")
+	}
+	if used := task.Execute(0, -5); used != 0 {
+		t.Error("negative instruction count executed")
+	}
+}
+
+func TestResponseTime(t *testing.T) {
+	b, _ := ByName("blackscholes")
+	task, _ := NewTask(0, b, 2, 1.5, 1)
+	if !math.IsNaN(task.ResponseTime()) {
+		t.Error("unfinished task has response time")
+	}
+	task.FinishTime = 2.0
+	if got := task.ResponseTime(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("response = %v, want 0.5", got)
+	}
+}
+
+func TestHomogeneousFullLoadExactCoverage(t *testing.T) {
+	b, _ := ByName("x264")
+	specs, err := HomogeneousFullLoad(b, 64, []int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalThreads(specs); got != 64 {
+		t.Fatalf("total threads = %d, want 64", got)
+	}
+	for _, s := range specs {
+		if s.Arrival != 0 {
+			t.Fatal("closed system: all tasks arrive at 0")
+		}
+		if s.Bench.Name != "x264" {
+			t.Fatal("homogeneous mix contains foreign benchmark")
+		}
+	}
+}
+
+func TestHomogeneousFullLoadTruncatesLast(t *testing.T) {
+	b, _ := ByName("x264")
+	specs, err := HomogeneousFullLoad(b, 7, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TotalThreads(specs) != 7 {
+		t.Fatalf("total = %d, want 7", TotalThreads(specs))
+	}
+	if specs[len(specs)-1].Threads != 3 {
+		t.Fatalf("last instance = %d threads, want truncated 3", specs[len(specs)-1].Threads)
+	}
+}
+
+func TestHomogeneousFullLoadValidation(t *testing.T) {
+	b, _ := ByName("x264")
+	if _, err := HomogeneousFullLoad(b, 0, []int{2}); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := HomogeneousFullLoad(b, 8, nil); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := HomogeneousFullLoad(b, 8, []int{0}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestRandomMixDeterministicPerSeed(t *testing.T) {
+	a, err := RandomMix(20, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RandomMix(20, 50, 42)
+	for i := range a {
+		if a[i].Bench.Name != b[i].Bench.Name || a[i].Arrival != b[i].Arrival ||
+			a[i].Threads != b[i].Threads || a[i].WorkScale != b[i].WorkScale {
+			t.Fatal("same seed produced different mixes")
+		}
+	}
+	c, _ := RandomMix(20, 50, 43)
+	same := true
+	for i := range a {
+		if a[i].Bench.Name != c[i].Bench.Name || a[i].Arrival != c[i].Arrival {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical mixes")
+	}
+}
+
+func TestRandomMixArrivalsIncreasing(t *testing.T) {
+	specs, err := RandomMix(50, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 50 {
+		t.Fatalf("count = %d", len(specs))
+	}
+	prev := 0.0
+	for _, s := range specs {
+		if s.Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = s.Arrival
+	}
+}
+
+func TestRandomMixRateControlsDensity(t *testing.T) {
+	// Higher arrival rate compresses the schedule (in expectation; use a
+	// large count so the comparison is stable).
+	slow, _ := RandomMix(200, 10, 1)
+	fast, _ := RandomMix(200, 1000, 1)
+	if fast[len(fast)-1].Arrival >= slow[len(slow)-1].Arrival {
+		t.Error("higher rate did not compress arrivals")
+	}
+}
+
+func TestRandomMixValidation(t *testing.T) {
+	if _, err := RandomMix(0, 10, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := RandomMix(5, 0, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	b, _ := ByName("dedup")
+	tasks, err := Instantiate([]Spec{
+		{Bench: b, Threads: 2, Arrival: 0, WorkScale: 1},
+		{Bench: b, Threads: 4, Arrival: 1, WorkScale: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 2 || tasks[0].ID != 0 || tasks[1].ID != 1 {
+		t.Fatal("instantiation IDs wrong")
+	}
+	bad := []Spec{{Bench: b, Threads: 0, Arrival: 0, WorkScale: 1}}
+	if _, err := Instantiate(bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+// Property: tasks with random execution interleavings always terminate and
+// conserve total work.
+func TestPropTaskAlwaysTerminates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bs := PARSEC()
+		b := bs[r.Intn(len(bs))]
+		threads := 1 + r.Intn(8)
+		task, err := NewTask(0, b, threads, 0, 0.5+r.Float64())
+		if err != nil {
+			return false
+		}
+		want := task.TotalRemaining()
+		executed := 0.0
+		for steps := 0; !task.Done(); steps++ {
+			if steps > 1e6 {
+				return false // stuck
+			}
+			idx := r.Intn(threads)
+			executed += task.Execute(idx, r.Float64()*5e7)
+		}
+		return math.Abs(executed-want) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: phase barriers — a task is never simultaneously running threads
+// of two different phases.
+func TestPropBarrierConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := PARSEC()[r.Intn(8)]
+		threads := 2 + r.Intn(7)
+		task, err := NewTask(0, b, threads, 0, 1)
+		if err != nil {
+			return false
+		}
+		for !task.Done() {
+			phase := task.Phase()
+			kind := task.Bench.Phases[phase].Kind
+			for i := 0; i < threads; i++ {
+				running := task.State(i) == ThreadRunning
+				switch {
+				case kind == Serial && i != 0 && running:
+					return false // worker running in serial phase
+				case kind == Parallel && i == 0 && running && threads > 1:
+					return false // master running in parallel phase
+				}
+			}
+			// Make progress on one active thread.
+			progressed := false
+			for i := 0; i < threads; i++ {
+				if task.State(i) == ThreadRunning {
+					task.Execute(i, 1e7+r.Float64()*1e7)
+					progressed = true
+					break
+				}
+			}
+			if !progressed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
