@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments vet fmt cover
+.PHONY: all build test test-short race bench experiments vet fmt cover
 
 all: build test
 
@@ -20,6 +20,10 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detector pass over the short suite — validates docs/CONCURRENCY.md.
+race:
+	$(GO) test -short -race ./...
 
 cover:
 	$(GO) test -cover ./...

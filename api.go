@@ -24,6 +24,22 @@
 //	sched := hotpotato.NewHotPotatoScheduler(plat, 70)
 //	res, _ := hotpotato.Run(plat, hotpotato.DefaultSimConfig(), sched, tasks)
 //	fmt.Printf("makespan %.1f ms, peak %.1f °C\n", res.Makespan*1e3, res.PeakTemp)
+//
+// # Concurrency and determinism
+//
+// The package follows one contract, spelled out in docs/CONCURRENCY.md:
+//
+//   - Hardware models (Platform, ThermalModel, PeakCalculator, Benchmark)
+//     are immutable after construction and safe to share across any number
+//     of goroutines. A single Platform may back many concurrent Runs.
+//   - Run-state objects (Simulation, Scheduler instances, Task,
+//     TraceRecorder) are single-goroutine: build fresh ones per concurrent
+//     run and never share an instance between two live simulations.
+//   - Everything is deterministic: no package-level mutable state, no
+//     shared rand sources, and the experiment harnesses (Fig4a, Fig4b, …)
+//     fan their independent cells out over a bounded worker pool
+//     (ExperimentOptions.Workers, default GOMAXPROCS) while collecting
+//     results by index — output is bit-identical at any worker count.
 package hotpotato
 
 import (
@@ -41,45 +57,61 @@ import (
 
 // Core simulation types, re-exported from the internal toolkit.
 type (
-	// Platform bundles the hardware models of one simulated chip.
+	// Platform bundles the hardware models of one simulated chip. It is
+	// immutable after NewPlatform returns and safe to share across
+	// concurrent simulations and goroutines.
 	Platform = sim.Platform
-	// PlatformConfig collects all substrate parameters.
+	// PlatformConfig collects all substrate parameters. A plain value:
+	// copy freely, one per NewPlatformFromConfig call.
 	PlatformConfig = sim.PlatformConfig
 	// SimConfig controls one simulation run (DTM threshold, slice, ...).
+	// A plain value: copy freely; each Run gets its own copy.
 	SimConfig = sim.Config
-	// Result carries the metrics of a completed run.
+	// Result carries the metrics of a completed run. It is not written
+	// after Run returns; treat it as read-only when sharing.
 	Result = sim.Result
 	// TaskStat is the per-task outcome inside a Result.
 	TaskStat = sim.TaskStat
-	// Scheduler is the policy plug-in interface.
+	// Scheduler is the policy plug-in interface. Implementations are
+	// stateful and single-goroutine: build one instance per Simulation and
+	// never share a live instance between two runs.
 	Scheduler = sim.Scheduler
-	// SchedulerState is the snapshot handed to a Scheduler.
+	// SchedulerState is the snapshot handed to a Scheduler. The simulator
+	// hands each Scheduler private copies of the mutable slices.
 	SchedulerState = sim.State
 	// SchedulerDecision is a scheduler's thread→core mapping and DVFS answer.
 	SchedulerDecision = sim.Decision
-	// ThreadID identifies one thread of one task.
+	// ThreadID identifies one thread of one task. A comparable value type.
 	ThreadID = sim.ThreadID
 	// ThreadInfo is the scheduler-visible view of one thread.
 	ThreadInfo = sim.ThreadInfo
-	// TraceFunc observes every simulation slice.
+	// TraceFunc observes every simulation slice. It is called on the
+	// goroutine driving Run, never concurrently with itself.
 	TraceFunc = sim.TraceFunc
 )
 
 // Workload types.
 type (
-	// Benchmark is the interval-level model of one PARSEC application.
+	// Benchmark is the interval-level model of one PARSEC application. A
+	// plain value; copy and share freely.
 	Benchmark = workload.Benchmark
-	// Task is a live multi-threaded benchmark instance.
+	// Task is a live multi-threaded benchmark instance. Tasks carry run
+	// state (progress, timestamps): instantiate a fresh set per simulation
+	// and never feed the same Task objects to two Runs.
 	Task = workload.Task
-	// Spec describes one task of a mix before instantiation.
+	// Spec describes one task of a mix before instantiation. A plain
+	// value; reusable across any number of Instantiate calls.
 	Spec = workload.Spec
 )
 
 // Rotation analytics (the paper's Algorithm 1).
 type (
 	// RotationPlan is a periodic power schedule: δ epochs of τ seconds.
+	// Treated as read-only by the calculator; safe to share once built.
 	RotationPlan = rotation.Plan
-	// PeakCalculator evaluates rotation plans analytically.
+	// PeakCalculator evaluates rotation plans analytically. It is
+	// immutable after construction — evaluations allocate their own
+	// scratch — so one calculator may serve concurrent goroutines.
 	PeakCalculator = rotation.Calculator
 	// RotationResult is the detailed periodic steady state of a plan.
 	RotationResult = rotation.Result
@@ -98,7 +130,8 @@ var ErrTimeout = sim.ErrTimeout
 
 // NewPlatform builds the default (Table I) platform at the given grid size.
 // The paper's evaluation chip is NewPlatform(8, 8); the motivational example
-// uses NewPlatform(4, 4).
+// uses NewPlatform(4, 4). The returned Platform is immutable and safe to
+// share across concurrent simulations; construction itself is deterministic.
 func NewPlatform(width, height int) (*Platform, error) {
 	return sim.NewPlatform(sim.DefaultPlatformConfig(width, height))
 }
@@ -120,6 +153,12 @@ func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 // Run executes tasks under a scheduler on a platform and returns the
 // metrics. It wraps sim.New + Run for the common case; use NewSimulation to
 // attach a trace observer first.
+//
+// Concurrency: Run is safe to call from many goroutines at once provided
+// each call gets its own Scheduler instance and Task set; the Platform may
+// be shared. A run is deterministic — same platform, config, scheduler
+// construction, and tasks always yield the same Result (only the host-time
+// fields SchedulerHostTime vary).
 func Run(plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Result, error) {
 	simulation, err := sim.New(plat, cfg, s, tasks)
 	if err != nil {
@@ -129,15 +168,20 @@ func Run(plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Result, er
 }
 
 // Simulation is a prepared run that can be instrumented before starting.
+// A Simulation is single-goroutine and single-shot: configure it, call Run
+// once, and do not share the instance.
 type Simulation = sim.Simulator
 
-// NewSimulation prepares a run without starting it.
+// NewSimulation prepares a run without starting it. See Run for the
+// concurrency and determinism contract.
 func NewSimulation(plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Simulation, error) {
 	return sim.New(plat, cfg, s, tasks)
 }
 
 // NewHotPotatoScheduler builds the paper's scheduler (Algorithm 2) for a
-// platform and DTM threshold.
+// platform and DTM threshold. The returned Scheduler is stateful (rotation
+// phase, τ adaptation): build one per Simulation, never share an instance.
+// Given the same sequence of states it makes the same decisions.
 func NewHotPotatoScheduler(plat *Platform, tdtm float64, opts ...HotPotatoOption) Scheduler {
 	return sched.NewHotPotato(plat, tdtm, opts...)
 }
@@ -162,7 +206,8 @@ func NewHotPotatoDVFSScheduler(plat *Platform, tdtm float64, opts ...HotPotatoOp
 }
 
 // NewPCMigScheduler builds the state-of-the-art baseline (TSP DVFS +
-// asynchronous migrations).
+// asynchronous migrations). Like all scheduler constructors here it returns
+// a stateful single-run instance — one per Simulation.
 func NewPCMigScheduler(tdtm float64, opts ...PCMigOption) Scheduler {
 	return sched.NewPCMig(tdtm, opts...)
 }
@@ -217,15 +262,19 @@ func HomogeneousFullLoad(b Benchmark, totalThreads int, sizes []int) ([]Spec, er
 }
 
 // RandomMix builds the Fig. 4(b) open-system workload (Poisson arrivals).
+// Deterministic for a fixed seed: the generator is a private rand source,
+// so concurrent RandomMix calls never perturb each other.
 func RandomMix(count int, arrivalRate float64, seed int64) ([]Spec, error) {
 	return workload.RandomMix(count, arrivalRate, seed)
 }
 
-// Instantiate converts specs into live tasks.
+// Instantiate converts specs into live tasks. Call it once per simulation —
+// Tasks carry run state and must not be shared between concurrent Runs.
 func Instantiate(specs []Spec) ([]*Task, error) { return workload.Instantiate(specs) }
 
 // NewPeakCalculator builds the Algorithm 1 peak-temperature calculator for a
-// platform's thermal model (the design-time phase).
+// platform's thermal model (the design-time phase). The calculator is
+// immutable and safe for concurrent evaluations from many goroutines.
 func NewPeakCalculator(plat *Platform) *PeakCalculator {
 	return rotation.NewCalculator(plat.Thermal)
 }
@@ -244,25 +293,35 @@ type (
 	Fig4aRow = experiments.Fig4aRow
 	// Fig4bRow is one load level of the heterogeneous comparison.
 	Fig4bRow = experiments.Fig4bRow
-	// ExperimentOptions scales experiments (zero value = paper scale).
+	// ExperimentOptions scales experiments (zero value = paper scale) and
+	// bounds the sweep worker pool via its Workers field (0 = GOMAXPROCS).
+	// Results are bit-identical at any Workers value.
 	ExperimentOptions = experiments.Options
 	// OverheadResult reports scheduler run-time cost.
 	OverheadResult = experiments.OverheadResult
 )
 
-// Fig2 regenerates the paper's motivational example (Fig. 2a–c).
+// Fig2 regenerates the paper's motivational example (Fig. 2a–c). The three
+// policy executions run concurrently on isolated platforms; the result is
+// deterministic.
 func Fig2(traceStride int) (*Fig2Result, error) { return experiments.Fig2(traceStride) }
 
-// Fig4a regenerates the homogeneous full-load comparison (Fig. 4a).
+// Fig4a regenerates the homogeneous full-load comparison (Fig. 4a). Its
+// benchmark × scheduler cells fan out over opts.Workers goroutines; rows
+// are ordered and bit-identical at any worker count.
 func Fig4a(opts ExperimentOptions) ([]Fig4aRow, error) { return experiments.Fig4a(opts) }
 
 // Fig4b regenerates the heterogeneous open-system comparison (Fig. 4b).
+// Deterministic for a fixed seed; the rate × scheduler cells fan out over
+// opts.Workers goroutines without affecting the output.
 func Fig4b(opts ExperimentOptions, rates []float64, taskCount int, seed int64) ([]Fig4bRow, error) {
 	return experiments.Fig4b(opts, rates, taskCount, seed)
 }
 
 // Overhead measures HotPotato's run-time cost on the 64-core platform
-// (paper §VI: 23.76 µs per decision).
+// (paper §VI: 23.76 µs per decision). Deliberately serial — it reports host
+// wall-clock timings, which parallel cells would inflate — so its numbers
+// (and only its numbers) vary with the host machine and load.
 func Overhead() (*OverheadResult, error) { return experiments.Overhead() }
 
 // TraceRecorder collects per-slice traces (temperatures, powers,

@@ -12,6 +12,8 @@
 package hotpotato_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	hotpotato "repro"
@@ -201,6 +203,34 @@ func BenchmarkCharacterizeHeterogeneity(b *testing.B) {
 				b.ReportMetric(r.PlacementGainPercent, "canneal_placement_gain_%")
 			}
 		}
+	}
+}
+
+// --- Parallel sweep harness -------------------------------------------------
+
+// BenchmarkParallelSweep measures the worker-pool fan-out of the experiment
+// harness on a fixed multi-seed Fig. 4(b) sweep (2 seeds × 2 rates × 2
+// schedulers = 8 independent simulation cells). On an N-core machine the
+// workers=N variant should approach N× the workers=1 throughput; the rows
+// are bit-identical at every worker count (TestWorkerCountInvariance).
+func BenchmarkParallelSweep(b *testing.B) {
+	counts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if counts[2] <= 2 {
+		counts = counts[:2] // avoid a duplicate sub-benchmark on small hosts
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := hotpotato.ExperimentOptions{GridEdge: 4, WorkScale: 0.3, Workers: w}
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig4bMultiSeed(opts, []float64{100, 200}, 6, []int64{1, 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rows) != 2 {
+					b.Fatalf("rows = %d", len(rows))
+				}
+			}
+		})
 	}
 }
 

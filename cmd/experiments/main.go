@@ -16,8 +16,10 @@
 //	experiments -exp hybrid         # §VII future work: rotation + DVFS
 //	experiments -exp threed         # §VII future work: 3D-stacked S-NUCA
 //
-// -quick shrinks workloads, -json emits machine-readable output, and
-// -outdir DIR additionally writes plot-ready CSV files.
+// -quick shrinks workloads, -workers N bounds the simulation worker pool
+// (default: GOMAXPROCS; results are identical at any value), -json emits
+// machine-readable output, and -outdir DIR additionally writes plot-ready
+// CSV files.
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -71,6 +74,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: all|table1|characterize|fig2|fig4a|fig4b|baselines|overhead|ablations|hybrid|threed")
 	quick := flag.Bool("quick", false, "scale workloads down for a fast run")
 	seed := flag.Int64("seed", 12345, "random seed for fig4b")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"max concurrent simulation cells (results are identical at any value)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	outdir := flag.String("outdir", "", "also write plot-ready CSV files into this directory")
 	flag.Parse()
@@ -82,7 +87,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{}
+	opts := experiments.Options{Workers: *workers}
 	if *quick {
 		opts.WorkScale = 0.25
 	}

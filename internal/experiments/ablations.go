@@ -24,44 +24,50 @@ type TauSweepRow struct {
 
 // TauSweep runs the Fig. 2(c) scenario at several rotation intervals,
 // exposing the trade-off Algorithm 2 navigates: faster rotation averages
-// temperature better but pays more migration overhead.
+// temperature better but pays more migration overhead. The intervals run
+// concurrently, each cell fully isolated; rows keep the input order.
 func TauSweep(taus []float64) ([]TauSweepRow, error) {
-	var rows []TauSweepRow
-	for _, tau := range taus {
+	rows := make([]TauSweepRow, len(taus))
+	err := forEach(0, len(taus), func(i int) error {
+		tau := taus[i]
 		slots := map[sim.ThreadID]int{
 			{Task: 0, Thread: 0}: 0,
 			{Task: 0, Thread: 1}: 2,
 		}
 		rot, err := sched.NewRotationStatic(slots, []int{5, 6, 10, 9}, tau)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plat, err := newPlatform(4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := workload.ByName("blackscholes")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		task, err := workload.NewTask(0, b, 2, 0, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := sim.DefaultConfig()
 		cfg.DTMEnabled = false // expose the raw thermal consequence of τ
 		s, err := sim.New(plat, cfg, rot, []*workload.Task{task})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, TauSweepRow{
+		rows[i] = TauSweepRow{
 			Tau: tau, Response: res.AvgResponse,
 			PeakTemp: res.PeakTemp, Migrations: res.Migrations,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -101,8 +107,9 @@ func RingScope() ([]RingScopeRow, error) {
 		{"inner-ring (HotPotato)", []int{5, 6, 10, 9}},
 		{"outer-ring", outer},
 	}
-	var rows []RingScopeRow
-	for _, sc := range scopes {
+	rows := make([]RingScopeRow, len(scopes))
+	err := forEach(0, len(scopes), func(i int) error {
+		sc := scopes[i]
 		slotsHere := map[sim.ThreadID]int{}
 		for id := range slots {
 			slotsHere[id] = slots[id] % len(sc.cores)
@@ -111,29 +118,33 @@ func RingScope() ([]RingScopeRow, error) {
 		slotsHere[sim.ThreadID{Task: 0, Thread: 1}] = len(sc.cores) / 2
 		rot, err := sched.NewRotationStatic(slotsHere, sc.cores, 0.5e-3)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plat, err := newPlatform(4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := workload.ByName("streamcluster") // memory-bound: AMD matters
 		if err != nil {
-			return nil, err
+			return err
 		}
 		task, err := workload.NewTask(0, b, 2, 0, 0.5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := sim.New(plat, sim.DefaultConfig(), rot, []*workload.Task{task})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, RingScopeRow{Scope: sc.name, Response: res.AvgResponse, PeakTemp: res.PeakTemp})
+		rows[i] = RingScopeRow{Scope: sc.name, Response: res.AvgResponse, PeakTemp: res.PeakTemp}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -149,10 +160,10 @@ type MigrationCostRow struct {
 // MigrationCostSweep rescales the per-migration cost and reruns a hot
 // homogeneous workload: HotPotato's advantage must shrink as migrations get
 // more expensive — the observation the whole paper rests on (cheap S-NUCA
-// migrations) run in reverse.
+// migrations) run in reverse. The scale × scheduler cells fan out over
+// Options.Workers goroutines, each on its own reconfigured platform.
 func MigrationCostSweep(scales []float64, opts Options) ([]MigrationCostRow, error) {
 	opts = opts.withDefaults()
-	var rows []MigrationCostRow
 	b, err := workload.ByName("blackscholes")
 	if err != nil {
 		return nil, err
@@ -162,45 +173,45 @@ func MigrationCostSweep(scales []float64, opts Options) ([]MigrationCostRow, err
 	if err != nil {
 		return nil, err
 	}
-	for _, scale := range scales {
+	pair := comparisonPair(opts)
+	makespans := make([]float64, 2*len(scales))
+	err = forEach(opts.workers(), len(makespans), func(i int) error {
 		pcfg := sim.DefaultPlatformConfig(opts.GridEdge, opts.GridEdge)
-		pcfg.Cache.OSOverhead = cache.DefaultConfig().OSOverhead * scale
-		run := func(mk func(*sim.Platform) sim.Scheduler) (float64, error) {
-			plat, err := sim.NewPlatform(pcfg)
-			if err != nil {
-				return 0, err
-			}
-			scaled := make([]workload.Spec, len(specs))
-			copy(scaled, specs)
-			for i := range scaled {
-				scaled[i].WorkScale *= opts.WorkScale
-			}
-			tasks, err := workload.Instantiate(scaled)
-			if err != nil {
-				return 0, err
-			}
-			s, err := sim.New(plat, sim.DefaultConfig(), mk(plat), tasks)
-			if err != nil {
-				return 0, err
-			}
-			res, err := s.Run()
-			if err != nil {
-				return 0, err
-			}
-			return res.Makespan, nil
-		}
-		hp, err := run(func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) })
+		pcfg.Cache.OSOverhead = cache.DefaultConfig().OSOverhead * scales[i/2]
+		plat, err := sim.NewPlatform(pcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pc, err := run(func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) })
+		scaled := make([]workload.Spec, len(specs))
+		copy(scaled, specs)
+		for j := range scaled {
+			scaled[j].WorkScale *= opts.WorkScale
+		}
+		tasks, err := workload.Instantiate(scaled)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, MigrationCostRow{
+		s, err := sim.New(plat, sim.DefaultConfig(), pair[i%2](plat), tasks)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return err
+		}
+		makespans[i] = res.Makespan
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]MigrationCostRow, len(scales))
+	for i, scale := range scales {
+		hp, pc := makespans[2*i], makespans[2*i+1]
+		rows[i] = MigrationCostRow{
 			CostScale: scale, HotPotato: hp, PCMig: pc,
 			SpeedupPercent: (pc - hp) / pc * 100,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -219,7 +230,8 @@ type AnalyticVsBruteRow struct {
 // AnalyticVsBrute quantifies why Algorithm 1 matters: same answer as
 // brute-force transient simulation, orders of magnitude faster. Uses a
 // fast-time-constant model so the brute force converges in a bounded number
-// of periods.
+// of periods. Deliberately serial: both sides are wall-clock measurements,
+// and concurrent cells contending for cores would corrupt the speedup factor.
 func AnalyticVsBrute(deltas []int) ([]AnalyticVsBruteRow, error) {
 	cfg := thermal.DefaultConfig()
 	cfg.SiCapacitance /= 100

@@ -20,7 +20,9 @@ type BaselineRow struct {
 
 // Baselines runs the full policy ladder on one hot full-load workload: a
 // naive reactive DVFS governor, PCMig, HotPotato, and the rotation+DVFS
-// hybrid — the one-table summary of the repo's comparative landscape.
+// hybrid — the one-table summary of the repo's comparative landscape. The
+// policies run concurrently over Options.Workers goroutines; the ladder
+// keeps its fixed order.
 func Baselines(opts Options, benchName string) ([]BaselineRow, error) {
 	opts = opts.withDefaults()
 	b, err := workload.ByName(benchName)
@@ -41,20 +43,25 @@ func Baselines(opts Options, benchName string) ([]BaselineRow, error) {
 		{"hotpotato", func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) }},
 		{"hotpotato-dvfs", func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotatoDVFS(p, opts.TDTM) }},
 	}
-	var rows []BaselineRow
-	for _, p := range policies {
+	rows := make([]BaselineRow, len(policies))
+	err = forEach(opts.workers(), len(policies), func(i int) error {
+		p := policies[i]
 		res, err := runWorkload(opts, p.mk, specs, sim.DefaultConfig())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: baselines %s: %w", p.name, err)
+			return fmt.Errorf("experiments: baselines %s: %w", p.name, err)
 		}
-		rows = append(rows, BaselineRow{
+		rows[i] = BaselineRow{
 			Policy:     p.name,
 			Makespan:   res.Makespan,
 			PeakTemp:   res.PeakTemp,
 			DTMTime:    res.DTMTime,
 			Migrations: res.Migrations,
 			EnergyJ:    res.EnergyJ,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

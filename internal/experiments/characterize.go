@@ -1,39 +1,10 @@
 package experiments
 
 import (
-	"sync"
-
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
-
-// runPair executes two scheduler variants of the same workload concurrently
-// (each on its own platform, fully isolated), halving experiment wall time.
-func runPair(opts Options,
-	mkA, mkB func(*sim.Platform) sim.Scheduler,
-	specs []workload.Spec, cfg sim.Config) (a, b *sim.Result, err error) {
-
-	var wg sync.WaitGroup
-	var errA, errB error
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		a, errA = runWorkload(opts, mkA, specs, cfg)
-	}()
-	go func() {
-		defer wg.Done()
-		b, errB = runWorkload(opts, mkB, specs, cfg)
-	}()
-	wg.Wait()
-	if errA != nil {
-		return nil, nil, errA
-	}
-	if errB != nil {
-		return nil, nil, errB
-	}
-	return a, b, nil
-}
 
 // HeterogeneityRow characterizes one benchmark on the platform — the
 // S-NUCA performance heterogeneity of [19] that both schedulers exploit.
@@ -53,6 +24,9 @@ type HeterogeneityRow struct {
 // Heterogeneity tabulates placement and DVFS sensitivity of every PARSEC
 // model on the 64-core platform: memory-bound benchmarks care about
 // placement and shrug off DVFS; compute-bound benchmarks are the reverse.
+// The benchmarks evaluate concurrently against one shared Platform — the
+// read-only sharing the concurrency contract permits (all Platform query
+// methods are pure after construction).
 func Heterogeneity() ([]HeterogeneityRow, error) {
 	plat, err := newPlatform(8)
 	if err != nil {
@@ -70,19 +44,25 @@ func Heterogeneity() ([]HeterogeneityRow, error) {
 		}
 	}
 	fmax := plat.Power.DVFS().FMax
-	var rows []HeterogeneityRow
-	for _, b := range workload.PARSEC() {
+	bs := workload.PARSEC()
+	rows := make([]HeterogeneityRow, len(bs))
+	err = forEach(0, len(bs), func(i int) error {
+		b := bs[i]
 		p := b.Perf()
 		bestIPS := plat.Perf.IPS(p, best, fmax)
 		worstIPS := plat.Perf.IPS(p, worst, fmax)
 		slow := plat.Perf.SlowdownAt(p, best, fmax/2, fmax)
-		rows = append(rows, HeterogeneityRow{
+		rows[i] = HeterogeneityRow{
 			Benchmark:            b.Name,
 			BestIPS:              bestIPS,
 			WorstIPS:             worstIPS,
 			PlacementGainPercent: (bestIPS/worstIPS - 1) * 100,
 			DVFSSlowdownPercent:  (slow - 1) * 100,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -98,6 +78,8 @@ type NoiseSweepRow struct {
 // NoiseSweep reruns a hot full-load workload under HotPotato with increasing
 // scheduler-visible thermal-sensor noise. HotPotato leans on the Algorithm 1
 // model rather than raw sensor values, so moderate noise should cost little.
+// The noise levels run concurrently over Options.Workers goroutines; every
+// cell seeds its own noise source, so rows are deterministic and ordered.
 func NoiseSweep(levels []float64, opts Options) ([]NoiseSweepRow, error) {
 	opts = opts.withDefaults()
 	b, err := workload.ByName("blackscholes")
@@ -108,23 +90,27 @@ func NoiseSweep(levels []float64, opts Options) ([]NoiseSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []NoiseSweepRow
-	for _, level := range levels {
+	rows := make([]NoiseSweepRow, len(levels))
+	err = forEach(opts.workers(), len(levels), func(i int) error {
 		cfg := sim.DefaultConfig()
-		cfg.SensorNoiseStdDev = level
+		cfg.SensorNoiseStdDev = levels[i]
 		cfg.SensorNoiseSeed = 77
 		res, err := runWorkload(opts, func(p *sim.Platform) sim.Scheduler {
 			return sched.NewHotPotato(p, opts.TDTM)
 		}, specs, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, NoiseSweepRow{
-			NoiseStdDev: level,
+		rows[i] = NoiseSweepRow{
+			NoiseStdDev: levels[i],
 			Makespan:    res.Makespan,
 			PeakTemp:    res.PeakTemp,
 			DTMTime:     res.DTMTime,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -139,6 +125,7 @@ type HeadroomSweepRow struct {
 
 // HeadroomSweep varies HotPotato's Δ (paper default 1 °C): a larger margin
 // buys fewer DTM excursions at the cost of more conservative scheduling.
+// The Δ settings run concurrently over Options.Workers goroutines.
 func HeadroomSweep(deltas []float64, opts Options) ([]HeadroomSweepRow, error) {
 	opts = opts.withDefaults()
 	b, err := workload.ByName("blackscholes")
@@ -149,20 +136,25 @@ func HeadroomSweep(deltas []float64, opts Options) ([]HeadroomSweepRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []HeadroomSweepRow
-	for _, delta := range deltas {
+	rows := make([]HeadroomSweepRow, len(deltas))
+	err = forEach(opts.workers(), len(deltas), func(i int) error {
+		delta := deltas[i]
 		res, err := runWorkload(opts, func(p *sim.Platform) sim.Scheduler {
 			return sched.NewHotPotato(p, opts.TDTM, sched.WithHeadroom(delta))
 		}, specs, sim.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, HeadroomSweepRow{
+		rows[i] = HeadroomSweepRow{
 			Delta:     delta,
 			Makespan:  res.Makespan,
 			PeakTemp:  res.PeakTemp,
 			DTMEvents: res.DTMEvents,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -180,11 +172,13 @@ type ContentionRow struct {
 
 // Contention reruns the headline comparison with the bandwidth model
 // enabled for the memory-heavy benchmarks: the HotPotato-vs-PCMig
-// conclusion must survive shared-resource queueing.
+// conclusion must survive shared-resource queueing. The three runs per
+// benchmark (HotPotato off/on, PCMig on) fan out over Options.Workers
+// goroutines together with the benchmark dimension.
 func Contention(opts Options, benchmarks []string) ([]ContentionRow, error) {
 	opts = opts.withDefaults()
-	var rows []ContentionRow
-	for _, name := range benchmarks {
+	specsPer := make([][]workload.Spec, len(benchmarks))
+	for i, name := range benchmarks {
 		b, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -193,29 +187,48 @@ func Contention(opts Options, benchmarks []string) ([]ContentionRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfgOn := sim.DefaultConfig()
-		cfgOn.NoCContention = true
-		hpOff, err := runWorkload(opts, func(p *sim.Platform) sim.Scheduler {
-			return sched.NewHotPotato(p, opts.TDTM)
-		}, specs, sim.DefaultConfig())
-		if err != nil {
-			return nil, err
+		specsPer[i] = specs
+	}
+	cfgOn := sim.DefaultConfig()
+	cfgOn.NoCContention = true
+	pair := comparisonPair(opts)
+	// Cells per benchmark: 0 = HotPotato contention-free, 1 = HotPotato with
+	// contention, 2 = PCMig with contention.
+	const cells = 3
+	results := make([]*sim.Result, cells*len(benchmarks))
+	err := forEach(opts.workers(), len(results), func(i int) error {
+		bi, ci := i/cells, i%cells
+		cfg := cfgOn
+		mk := pair[0]
+		if ci == 0 {
+			cfg = sim.DefaultConfig()
 		}
-		hpOn, pcOn, err := runPair(opts,
-			func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
-			func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
-			specs, cfgOn)
-		if err != nil {
-			return nil, err
+		if ci == 2 {
+			mk = pair[1]
 		}
-		rows = append(rows, ContentionRow{
+		res, err := runWorkload(opts, mk, specsPer[bi], cfg)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ContentionRow, len(benchmarks))
+	for bi, name := range benchmarks {
+		hpOff := results[bi*cells]
+		hpOn := results[bi*cells+1]
+		pcOn := results[bi*cells+2]
+		rows[bi] = ContentionRow{
 			Benchmark:         name,
 			HotPotatoOff:      hpOff.Makespan,
 			HotPotatoOn:       hpOn.Makespan,
 			PCMigOn:           pcOn.Makespan,
 			SpeedupOnPercent:  (pcOn.Makespan - hpOn.Makespan) / pcOn.Makespan * 100,
 			ContentionCostPct: (hpOn.Makespan/hpOff.Makespan - 1) * 100,
-		})
+		}
 	}
 	return rows, nil
 }

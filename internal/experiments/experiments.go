@@ -5,10 +5,24 @@
 // the ablations DESIGN.md calls out. Each experiment is a plain function
 // returning typed rows, so tests can assert the paper's qualitative shape
 // and the cmd/experiments binary can print paper-style tables.
+//
+// # Concurrency
+//
+// Every sweep is embarrassingly parallel: each (benchmark, scheduler, seed,
+// load-level) cell builds its own Platform, Scheduler, and task set, so
+// cells share no mutable state and fan out across a bounded worker pool
+// (see forEach). Options.Workers bounds the pool; the default is
+// runtime.GOMAXPROCS(0). Results are collected by cell index, never by
+// completion order, so output is bit-identical at any worker count — the
+// determinism contract docs/CONCURRENCY.md spells out. The two exceptions,
+// Overhead and AnalyticVsBrute, measure host wall-clock time and stay
+// deliberately serial: concurrent cells would contend for cores and corrupt
+// the very numbers they report.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -23,6 +37,18 @@ type Options struct {
 	WorkScale float64
 	// TDTM is the DTM threshold (default 70 °C, §VI).
 	TDTM float64
+	// Workers bounds the number of simulation cells run concurrently
+	// (default runtime.GOMAXPROCS(0)). Any value yields bit-identical
+	// results: cells are independent and collected by index.
+	Workers int
+}
+
+// workers resolves the effective pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func (o Options) withDefaults() Options {
@@ -43,7 +69,9 @@ func newPlatform(edge int) (*sim.Platform, error) {
 }
 
 // runWorkload executes one scheduler over one set of specs on a fresh
-// platform.
+// platform. Safe to call concurrently: every invocation builds its own
+// Platform, Scheduler, and task instances and reads specs without mutating
+// them (the WorkScale adjustment happens on a private copy).
 func runWorkload(opts Options, mkSched func(*sim.Platform) sim.Scheduler, specs []workload.Spec, cfg sim.Config) (*sim.Result, error) {
 	plat, err := newPlatform(opts.GridEdge)
 	if err != nil {

@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -407,8 +409,8 @@ func TestHeadroomSweepShape(t *testing.T) {
 }
 
 func TestConcurrentPairDeterministic(t *testing.T) {
-	// runPair executes the two schedulers on separate goroutines; results
-	// must be identical across repeated invocations (no shared state).
+	// Fig4b fans its scheduler cells out on the worker pool; results must be
+	// identical across repeated invocations (no shared state between cells).
 	opts := Options{GridEdge: 4, WorkScale: 0.3}
 	run := func() []Fig4bRow {
 		rows, err := Fig4b(opts, []float64{100}, 6, 9)
@@ -421,6 +423,77 @@ func TestConcurrentPairDeterministic(t *testing.T) {
 	if a[0].HotPotatoResponse != b[0].HotPotatoResponse ||
 		a[0].PCMigResponse != b[0].PCMigResponse {
 		t.Fatalf("concurrent pair runs diverge: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestForEach(t *testing.T) {
+	// Every index runs exactly once and lands in its own slot, at any
+	// worker count (including more workers than cells).
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 23
+		got := make([]int, n)
+		if err := forEach(workers, n, func(i int) error {
+			got[i] = i + 1
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+	// n = 0 is a no-op.
+	if err := forEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	// The reported error must not depend on goroutine interleaving: it is
+	// always the failure of the lowest index, and later cells still run.
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := forEach(workers, 10, func(i int) error {
+			ran.Add(1)
+			if i == 7 || i == 3 {
+				return fmt.Errorf("cell %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 3 failed" {
+			t.Errorf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+		if ran.Load() != 10 {
+			t.Errorf("workers=%d: %d cells ran, want all 10", workers, ran.Load())
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	// The acceptance property of the parallel harness: workers=1 and
+	// workers=8 produce bit-identical Fig4b aggregate rows for the same
+	// seeds. Any divergence means a cell leaked state into another.
+	rates := []float64{100, 200}
+	seeds := []int64{1, 2}
+	run := func(workers int) []Fig4bAggRow {
+		opts := Options{GridEdge: 4, WorkScale: 0.3, Workers: workers}
+		rows, err := Fig4bMultiSeed(opts, rates, 6, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	serial, parallel := run(1), run(8)
+	if len(serial) != len(rates) || len(parallel) != len(rates) {
+		t.Fatalf("row counts %d / %d, want %d", len(serial), len(parallel), len(rates))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("rate %.0f: workers=1 row %+v != workers=8 row %+v",
+				rates[i], serial[i], parallel[i])
+		}
 	}
 }
 

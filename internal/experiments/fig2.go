@@ -36,7 +36,9 @@ type Fig2Result struct {
 // blackscholes on cores 5 and 10 of a 16-core S-NUCA chip, under (a) no
 // management, (b) TSP-based DVFS, and (c) synchronous rotation over the four
 // centre cores at τ = 0.5 ms. traceStride > 0 records every traceStride-th
-// slice of the centre-core thermal trace.
+// slice of the centre-core thermal trace. The three policy executions run
+// concurrently — each on its own platform, task, and trace buffer — and are
+// deterministic at any parallelism.
 func Fig2(traceStride int) (*Fig2Result, error) {
 	pins := map[sim.ThreadID]int{
 		{Task: 0, Thread: 0}: 5,
@@ -66,24 +68,25 @@ func Fig2(traceStride int) (*Fig2Result, error) {
 		{&res.Rotation, "sync-rotation-0.5ms", func(*sim.Platform) sim.Scheduler { return rotSched }, true},
 	}
 
-	for _, p := range policies {
+	err = forEach(0, len(policies), func(i int) error {
+		p := policies[i]
 		plat, err := newPlatform(4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := workload.ByName("blackscholes")
 		if err != nil {
-			return nil, err
+			return err
 		}
 		task, err := workload.NewTask(0, b, 2, 0, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := sim.DefaultConfig()
 		cfg.DTMEnabled = p.dtm
 		s, err := sim.New(plat, cfg, p.mk(plat), []*workload.Task{task})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var trace []Fig2Sample
 		if traceStride > 0 {
@@ -103,7 +106,7 @@ func Fig2(traceStride int) (*Fig2Result, error) {
 		}
 		out, err := s.Run()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig2 %s: %w", p.name, err)
+			return fmt.Errorf("experiments: fig2 %s: %w", p.name, err)
 		}
 		*p.out = Fig2Policy{
 			Name:       p.name,
@@ -113,6 +116,10 @@ func Fig2(traceStride int) (*Fig2Result, error) {
 			Migrations: out.Migrations,
 			Trace:      trace,
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -25,24 +24,38 @@ type Fig4aRow struct {
 // Fig4a reproduces the homogeneous full-load evaluation: the chip is fully
 // loaded with vari-sized (2/4/8-thread) instances of one benchmark, all
 // arriving at t = 0 (a closed system), and the makespans of HotPotato and
-// PCMig are compared.
+// PCMig are compared. The 8 benchmarks × 2 schedulers = 16 cells fan out
+// over Options.Workers goroutines; rows come back in Fig. 4(a) benchmark
+// order regardless of the worker count.
 func Fig4a(opts Options) ([]Fig4aRow, error) {
 	opts = opts.withDefaults()
 	total := opts.GridEdge * opts.GridEdge
-	var rows []Fig4aRow
-	for _, b := range workload.PARSEC() {
+	bs := workload.PARSEC()
+	specsPer := make([][]workload.Spec, len(bs))
+	for i, b := range bs {
 		specs, err := workload.HomogeneousFullLoad(b, total, []int{2, 4, 8})
 		if err != nil {
 			return nil, err
 		}
-		hp, pc, err := runPair(opts,
-			func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
-			func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
-			specs, sim.DefaultConfig())
+		specsPer[i] = specs
+	}
+	pair := comparisonPair(opts)
+	results := make([]*sim.Result, 2*len(bs))
+	err := forEach(opts.workers(), len(results), func(i int) error {
+		res, err := runWorkload(opts, pair[i%2], specsPer[i/2], sim.DefaultConfig())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig4a %s: %w", b.Name, err)
+			return fmt.Errorf("experiments: fig4a %s: %w", bs[i/2].Name, err)
 		}
-		rows = append(rows, Fig4aRow{
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig4aRow, len(bs))
+	for i, b := range bs {
+		hp, pc := results[2*i], results[2*i+1]
+		rows[i] = Fig4aRow{
 			Benchmark:          b.Name,
 			HotPotatoMakespan:  hp.Makespan,
 			PCMigMakespan:      pc.Makespan,
@@ -52,7 +65,7 @@ func Fig4a(opts Options) ([]Fig4aRow, error) {
 			PCMigPeak:          pc.PeakTemp,
 			HotPotatoEnergy:    hp.EnergyJ,
 			PCMigEnergy:        pc.EnergyJ,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -78,36 +91,71 @@ type Fig4bRow struct {
 	SpeedupPercent    float64
 }
 
+// fig4bPairs runs the HotPotato/PCMig pair for every (seed, rate) cell of
+// the heterogeneous evaluation on one bounded worker pool and returns the
+// per-cell rows indexed [seed][rate]. Workload generation happens up front
+// on the calling goroutine (RandomMix is deterministic per seed), so the
+// pool only ever executes fully independent simulation cells.
+func fig4bPairs(opts Options, rates []float64, taskCount int, seeds []int64) ([][]Fig4bRow, error) {
+	cells := len(seeds) * len(rates)
+	specsPer := make([][]workload.Spec, cells)
+	for si, seed := range seeds {
+		for ri, rate := range rates {
+			specs, err := workload.RandomMix(taskCount, rate, seed)
+			if err != nil {
+				return nil, err
+			}
+			specsPer[si*len(rates)+ri] = specs
+		}
+	}
+	pair := comparisonPair(opts)
+	results := make([]*sim.Result, 2*cells)
+	err := forEach(opts.workers(), len(results), func(i int) error {
+		cell := i / 2
+		res, err := runWorkload(opts, pair[i%2], specsPer[cell], sim.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("experiments: fig4b seed %d rate %.0f: %w",
+				seeds[cell/len(rates)], rates[cell%len(rates)], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Fig4bRow, len(seeds))
+	for si := range seeds {
+		out[si] = make([]Fig4bRow, len(rates))
+		for ri, rate := range rates {
+			cell := si*len(rates) + ri
+			hp, pc := results[2*cell], results[2*cell+1]
+			out[si][ri] = Fig4bRow{
+				ArrivalRate:       rate,
+				HotPotatoResponse: hp.AvgResponse,
+				PCMigResponse:     pc.AvgResponse,
+				SpeedupPercent:    (pc.AvgResponse - hp.AvgResponse) / pc.AvgResponse * 100,
+			}
+		}
+	}
+	return out, nil
+}
+
 // Fig4b reproduces the heterogeneous evaluation: a random 20-benchmark
 // multi-program multi-threaded workload arrives as a Poisson process at each
 // of the given rates (an open system under varying load), and mean response
-// times of HotPotato and PCMig are compared. Deterministic for a fixed seed.
+// times of HotPotato and PCMig are compared. The rate × scheduler cells fan
+// out over Options.Workers goroutines. Deterministic for a fixed seed at
+// any worker count.
 func Fig4b(opts Options, rates []float64, taskCount int, seed int64) ([]Fig4bRow, error) {
 	opts = opts.withDefaults()
 	if taskCount <= 0 {
 		taskCount = 20
 	}
-	var rows []Fig4bRow
-	for _, rate := range rates {
-		specs, err := workload.RandomMix(taskCount, rate, seed)
-		if err != nil {
-			return nil, err
-		}
-		hp, pc, err := runPair(opts,
-			func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
-			func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
-			specs, sim.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig4b rate %.0f: %w", rate, err)
-		}
-		rows = append(rows, Fig4bRow{
-			ArrivalRate:       rate,
-			HotPotatoResponse: hp.AvgResponse,
-			PCMigResponse:     pc.AvgResponse,
-			SpeedupPercent:    (pc.AvgResponse - hp.AvgResponse) / pc.AvgResponse * 100,
-		})
+	perSeed, err := fig4bPairs(opts, rates, taskCount, []int64{seed})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return perSeed[0], nil
 }
 
 // DefaultFig4bRates spans under-loaded to over-loaded (tasks/second).
@@ -125,31 +173,32 @@ type Fig4bAggRow struct {
 
 // Fig4bMultiSeed repeats the heterogeneous comparison over several random
 // workloads and reports mean speedup with a 95% confidence interval — the
-// statistically honest form of Fig. 4(b).
+// statistically honest form of Fig. 4(b). All seeds × rates × schedulers
+// cells run on one worker pool, so the sweep saturates Options.Workers
+// cores; aggregation order is fixed by (seed, rate) index, making the
+// output bit-identical at any worker count.
 func Fig4bMultiSeed(opts Options, rates []float64, taskCount int, seeds []int64) ([]Fig4bAggRow, error) {
+	opts = opts.withDefaults()
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: need at least one seed")
 	}
-	perRate := make(map[float64][]Fig4bRow)
-	for _, seed := range seeds {
-		rows, err := Fig4b(opts, rates, taskCount, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range rows {
-			perRate[r.ArrivalRate] = append(perRate[r.ArrivalRate], r)
-		}
+	if taskCount <= 0 {
+		taskCount = 20
 	}
-	var out []Fig4bAggRow
-	for _, rate := range rates {
-		rows := perRate[rate]
-		speedups := make([]float64, len(rows))
-		hps := make([]float64, len(rows))
-		pcs := make([]float64, len(rows))
-		for i, r := range rows {
-			speedups[i] = r.SpeedupPercent
-			hps[i] = r.HotPotatoResponse
-			pcs[i] = r.PCMigResponse
+	perSeed, err := fig4bPairs(opts, rates, taskCount, seeds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig4bAggRow, 0, len(rates))
+	for ri, rate := range rates {
+		speedups := make([]float64, len(seeds))
+		hps := make([]float64, len(seeds))
+		pcs := make([]float64, len(seeds))
+		for si := range seeds {
+			r := perSeed[si][ri]
+			speedups[si] = r.SpeedupPercent
+			hps[si] = r.HotPotatoResponse
+			pcs[si] = r.PCMigResponse
 		}
 		out = append(out, Fig4bAggRow{
 			ArrivalRate:   rate,

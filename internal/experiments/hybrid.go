@@ -24,12 +24,14 @@ type HybridRow struct {
 // Hybrid runs the paper's §VII future work — synchronous rotation unified
 // with DVFS — against pure HotPotato and PCMig on hot full-load workloads.
 // The hybrid's promise: the thermal excursions pure rotation rides out via
-// hardware DTM are instead absorbed by a gentle frequency trim.
+// hardware DTM are instead absorbed by a gentle frequency trim. The
+// benchmark × policy cells fan out over Options.Workers goroutines; rows
+// keep the input benchmark order.
 func Hybrid(opts Options, benchmarks []string) ([]HybridRow, error) {
 	opts = opts.withDefaults()
 	total := opts.GridEdge * opts.GridEdge
-	var rows []HybridRow
-	for _, name := range benchmarks {
+	specsPer := make([][]workload.Spec, len(benchmarks))
+	for i, name := range benchmarks {
 		b, err := workload.ByName(name)
 		if err != nil {
 			return nil, err
@@ -38,31 +40,39 @@ func Hybrid(opts Options, benchmarks []string) ([]HybridRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		row := HybridRow{Benchmark: name}
-		policies := []struct {
-			makespan *float64
-			dtm      *float64
-			mk       func(*sim.Platform) sim.Scheduler
-		}{
-			{&row.HotPotato, &row.HotPotatoDTM, func(p *sim.Platform) sim.Scheduler {
-				return sched.NewHotPotato(p, opts.TDTM)
-			}},
-			{&row.Hybrid, &row.HybridDTM, func(p *sim.Platform) sim.Scheduler {
-				return sched.NewHotPotatoDVFS(p, opts.TDTM)
-			}},
-			{&row.PCMig, new(float64), func(*sim.Platform) sim.Scheduler {
-				return sched.NewPCMig(opts.TDTM)
-			}},
+		specsPer[i] = specs
+	}
+	policies := []func(*sim.Platform) sim.Scheduler{
+		func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
+		func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotatoDVFS(p, opts.TDTM) },
+		func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
+	}
+	results := make([]*sim.Result, len(benchmarks)*len(policies))
+	err := forEach(opts.workers(), len(results), func(i int) error {
+		bi, pi := i/len(policies), i%len(policies)
+		res, err := runWorkload(opts, policies[pi], specsPer[bi], sim.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("experiments: hybrid %s: %w", benchmarks[bi], err)
 		}
-		for _, p := range policies {
-			res, err := runWorkload(opts, p.mk, specs, sim.DefaultConfig())
-			if err != nil {
-				return nil, fmt.Errorf("experiments: hybrid %s: %w", name, err)
-			}
-			*p.makespan = res.Makespan
-			*p.dtm = res.DTMTime
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]HybridRow, len(benchmarks))
+	for bi, name := range benchmarks {
+		hp := results[bi*len(policies)]
+		hy := results[bi*len(policies)+1]
+		pc := results[bi*len(policies)+2]
+		rows[bi] = HybridRow{
+			Benchmark:    name,
+			HotPotato:    hp.Makespan,
+			Hybrid:       hy.Makespan,
+			PCMig:        pc.Makespan,
+			HotPotatoDTM: hp.DTMTime,
+			HybridDTM:    hy.DTMTime,
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }

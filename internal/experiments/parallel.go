@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// forEach runs fn(0) … fn(n-1) across a pool of at most `workers` goroutines
+// (0 or negative means runtime.GOMAXPROCS(0)). Each index is claimed exactly
+// once from a shared atomic counter, so cells are load-balanced regardless of
+// their individual run times.
+//
+// Determinism contract: fn must write its result into index i of a
+// caller-owned slice and must not touch any other index, so the assembled
+// output is ordered by index, never by completion order. All cells are
+// attempted even after a failure; the error of the lowest failing index is
+// returned, making the reported error independent of goroutine interleaving.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, but the same
+		// keep-going-and-report-lowest-index error semantics.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// comparisonPair returns the scheduler factories of the paper's headline
+// comparison: HotPotato at index 0, PCMig at index 1. Each factory builds a
+// fresh Scheduler instance, so concurrent cells never share scheduler state.
+func comparisonPair(opts Options) [2]func(*sim.Platform) sim.Scheduler {
+	return [2]func(*sim.Platform) sim.Scheduler{
+		func(p *sim.Platform) sim.Scheduler { return sched.NewHotPotato(p, opts.TDTM) },
+		func(*sim.Platform) sim.Scheduler { return sched.NewPCMig(opts.TDTM) },
+	}
+}
