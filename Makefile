@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments vet fmt cover
+.PHONY: all build test test-short race bench experiments vet fmt cover serve
 
 all: build test
 
@@ -27,6 +27,10 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# Run the HTTP simulation service (docs/SERVICE.md) on :8080.
+serve:
+	$(GO) run ./cmd/hotpotato-server
 
 # Regenerate every paper table & figure (tables to stdout).
 experiments:

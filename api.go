@@ -43,6 +43,7 @@
 package hotpotato
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/experiments"
@@ -128,6 +129,11 @@ type (
 // ErrTimeout reports that a run hit SimConfig.MaxTime before completing.
 var ErrTimeout = sim.ErrTimeout
 
+// ErrCanceled reports that a RunContext (or ExecuteSpec) was cancelled
+// before completing; the partial Result returned alongside it is valid up to
+// the moment of cancellation.
+var ErrCanceled = sim.ErrCanceled
+
 // NewPlatform builds the default (Table I) platform at the given grid size.
 // The paper's evaluation chip is NewPlatform(8, 8); the motivational example
 // uses NewPlatform(4, 4). The returned Platform is immutable and safe to
@@ -165,6 +171,20 @@ func Run(plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Result, er
 		return nil, err
 	}
 	return simulation.Run()
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// once per scheduler invocation, so a cancelled run stops within one
+// scheduler epoch of simulated progress and returns its partial Result with
+// an error wrapping ErrCanceled. Deadlines and client disconnects propagate
+// the same way — this is what lets the serving layer abandon a simulation
+// the moment its request goes away.
+func RunContext(ctx context.Context, plat *Platform, cfg SimConfig, s Scheduler, tasks []*Task) (*Result, error) {
+	simulation, err := sim.New(plat, cfg, s, tasks)
+	if err != nil {
+		return nil, err
+	}
+	return simulation.RunContext(ctx)
 }
 
 // Simulation is a prepared run that can be instrumented before starting.

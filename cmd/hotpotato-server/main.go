@@ -1,0 +1,61 @@
+// Command hotpotato-server is the simulation service: an HTTP/JSON daemon
+// that accepts declarative RunSpec documents and executes them on a bounded
+// worker pool, sharing thermal models between requests.
+//
+//	hotpotato-server -addr :8080
+//	curl -X POST localhost:8080/v1/run -d '{
+//	  "platform":  {"width": 4, "height": 4},
+//	  "scheduler": {"name": "hotpotato"},
+//	  "workload":  {"kind": "homogeneous", "bench": "blackscholes", "total_threads": 4}
+//	}'
+//
+// See docs/SERVICE.md for the endpoints and the RunSpec schema.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "async job queue depth (0 = 64)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before in-flight runs are cancelled")
+	flag.Parse()
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("hotpotato-server listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("received %v, draining for up to %s", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("service drain expired, in-flight runs were cancelled: %v", err)
+	}
+	log.Printf("bye")
+}

@@ -13,13 +13,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	hotpotato "repro"
 )
 
 func main() {
-	schedName := flag.String("sched", "hotpotato", "scheduler: hotpotato|hotpotato-dvfs|pcmig")
+	schedName := flag.String("sched", "hotpotato",
+		"scheduler: "+strings.Join(hotpotato.SchedulerNames(), "|"))
 	grid := flag.Int("grid", 8, "chip edge length (grid×grid cores)")
 	bench := flag.String("bench", "", "homogeneous workload: PARSEC benchmark name")
 	benchFile := flag.String("benchfile", "", "JSON file with custom benchmark models (see BenchmarksFromJSON)")
@@ -86,16 +88,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var sch hotpotato.Scheduler
-	switch *schedName {
-	case "hotpotato":
-		sch = hotpotato.NewHotPotatoScheduler(plat, *tdtm, hotpotato.WithRotationInterval(*tau))
-	case "hotpotato-dvfs":
-		sch = hotpotato.NewHotPotatoDVFSScheduler(plat, *tdtm, hotpotato.WithRotationInterval(*tau))
-	case "pcmig":
-		sch = hotpotato.NewPCMigScheduler(*tdtm)
-	default:
-		log.Fatalf("unknown scheduler %q", *schedName)
+	// Scheduler construction goes through the one registry, so every policy
+	// the library knows is available here — and the -sched help text above
+	// is generated from the same table.
+	spec := hotpotato.SchedulerSpec{Name: *schedName, TDTM: *tdtm, Tau: *tau}
+	spec, err = spec.AutoPin(plat, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := hotpotato.NewSchedulerFromSpec(plat, spec)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	simulation, err := hotpotato.NewSimulation(plat, hotpotato.DefaultSimConfig(), sch, tasks)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	hotpotato "repro"
 )
@@ -19,7 +20,8 @@ func main() {
 	grid := flag.Int("grid", 4, "chip edge length")
 	bench := flag.String("bench", "blackscholes", "PARSEC benchmark")
 	threads := flag.Int("threads", 2, "threads of the single task")
-	schedName := flag.String("sched", "rotation", "scheduler: static|tsp|rotation|hotpotato|pcmig")
+	schedName := flag.String("sched", "rotation",
+		"scheduler: "+strings.Join(hotpotato.SchedulerNames(), "|"))
 	tau := flag.Float64("tau", 0.5e-3, "rotation interval for -sched rotation/hotpotato")
 	stride := flag.Int("stride", 5, "output every N-th slice")
 	flag.Parse()
@@ -36,43 +38,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tasks := []*hotpotato.Task{task}
 
-	// Pin threads to the lowest-AMD cores for the static policies.
-	rings := plat.FP.Rings()
-	var pinCores []int
-	for _, ring := range rings {
-		pinCores = append(pinCores, ring.Cores...)
-	}
-	pins := map[hotpotato.ThreadID]int{}
-	slots := map[hotpotato.ThreadID]int{}
-	inner := rings[0].Cores
-	for i := 0; i < *threads; i++ {
-		pins[hotpotato.ThreadID{Task: 0, Thread: i}] = pinCores[i]
-		slots[hotpotato.ThreadID{Task: 0, Thread: i}] = (i * len(inner) / max(*threads, 1)) % len(inner)
-	}
-
-	var sch hotpotato.Scheduler
 	cfg := hotpotato.DefaultSimConfig()
-	switch *schedName {
-	case "static":
+	if *schedName == "static" {
+		// The unmanaged Fig. 2(a) execution: expose the violation.
 		cfg.DTMEnabled = false
-		sch = hotpotato.NewStaticScheduler(pins, 0)
-	case "tsp":
-		sch = hotpotato.NewTSPScheduler(pins, cfg.TDTM)
-	case "rotation":
-		sch, err = hotpotato.NewRotationScheduler(slots, inner, *tau)
-		if err != nil {
-			log.Fatal(err)
-		}
-	case "hotpotato":
-		sch = hotpotato.NewHotPotatoScheduler(plat, cfg.TDTM, hotpotato.WithRotationInterval(*tau))
-	case "pcmig":
-		sch = hotpotato.NewPCMigScheduler(cfg.TDTM)
-	default:
-		log.Fatalf("unknown scheduler %q", *schedName)
 	}
 
-	s, err := hotpotato.NewSimulation(plat, cfg, sch, []*hotpotato.Task{task})
+	// One registry builds every policy; AutoPin derives the ring-ordered
+	// pinning (and the innermost-ring rotation cycle) the static policies
+	// need, exactly as this tool has always placed them.
+	spec := hotpotato.SchedulerSpec{Name: *schedName, TDTM: cfg.TDTM, Tau: *tau}
+	spec, err = spec.AutoPin(plat, tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := hotpotato.NewSchedulerFromSpec(plat, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s, err := hotpotato.NewSimulation(plat, cfg, sch, tasks)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,11 +78,4 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "response %.1f ms, peak %.2f °C, %d migrations, trace %s\n",
 		res.AvgResponse*1e3, res.PeakTemp, res.Migrations, rec.TempSummary())
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

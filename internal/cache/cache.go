@@ -15,23 +15,23 @@ import (
 
 // Config describes the cache hierarchy (paper Table I).
 type Config struct {
-	L1IKB        int // L1 instruction cache size, KB (Table I: 16)
-	L1DKB        int // L1 data cache size, KB (Table I: 16)
-	L1Ways       int // associativity (Table I: 8)
-	LLCPerCoreKB int // LLC bank per core, KB (Table I: 128)
-	LLCWays      int // LLC associativity (Table I: 16)
-	BlockBytes   int // cache line size (Table I: 64)
+	L1IKB        int `json:"l1i_kb"`          // L1 instruction cache size, KB (Table I: 16)
+	L1DKB        int `json:"l1d_kb"`          // L1 data cache size, KB (Table I: 16)
+	L1Ways       int `json:"l1_ways"`         // associativity (Table I: 8)
+	LLCPerCoreKB int `json:"llc_per_core_kb"` // LLC bank per core, KB (Table I: 128)
+	LLCWays      int `json:"llc_ways"`        // LLC associativity (Table I: 16)
+	BlockBytes   int `json:"block_bytes"`     // cache line size (Table I: 64)
 
 	// DirtyFraction is the expected fraction of private-cache lines that are
 	// dirty at migration time and must be written back to the LLC.
-	DirtyFraction float64
+	DirtyFraction float64 `json:"dirty_fraction"`
 	// WarmFraction is the expected fraction of private-cache lines the
 	// thread re-touches soon after migration (the refill cost it observes).
-	WarmFraction float64
+	WarmFraction float64 `json:"warm_fraction"`
 	// OSOverhead is the fixed per-migration cost of moving a thread between
 	// cores — context save/restore, TLB shootdown, run-queue handoff, and
 	// pipeline warm-up. HotSniper charges an equivalent flat interval cost.
-	OSOverhead float64 // seconds
+	OSOverhead float64 `json:"os_overhead"` // seconds
 }
 
 // DefaultConfig returns the Table I hierarchy with typical dirty/warm

@@ -14,9 +14,9 @@ import (
 
 // Config holds NoC timing parameters (paper Table I).
 type Config struct {
-	HopLatency     float64 // seconds per hop (Table I: 1.5 ns)
-	LinkWidthBits  int     // link width (Table I: 256 bit)
-	RouterOverhead float64 // fixed per-message router/serialization overhead, seconds
+	HopLatency     float64 `json:"hop_latency"`     // seconds per hop (Table I: 1.5 ns)
+	LinkWidthBits  int     `json:"link_width_bits"` // link width (Table I: 256 bit)
+	RouterOverhead float64 `json:"router_overhead"` // fixed per-message router/serialization overhead, seconds
 }
 
 // DefaultConfig returns the Table I NoC parameters.

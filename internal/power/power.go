@@ -5,6 +5,7 @@
 package power
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 )
@@ -13,9 +14,11 @@ import (
 // baseline steps frequency in 100 MHz increments (§VI); voltage follows an
 // affine map between (FMin, VMin) and (FMax, VMax).
 type DVFS struct {
-	FMin, FMax float64 // Hz
-	FStep      float64 // Hz
-	VMin, VMax float64 // volts at FMin and FMax
+	FMin  float64 `json:"fmin"`  // Hz
+	FMax  float64 `json:"fmax"`  // Hz
+	FStep float64 `json:"fstep"` // Hz
+	VMin  float64 `json:"vmin"`  // volts at FMin
+	VMax  float64 `json:"vmax"`  // volts at FMax
 }
 
 // DefaultDVFS returns the ladder used throughout the evaluation:
@@ -128,6 +131,39 @@ func NewModel(d DVFS, idleWatts, stallWatts, dynFraction float64) (Model, error)
 
 // DVFS returns the model's frequency ladder.
 func (m Model) DVFS() DVFS { return m.dvfs }
+
+// modelJSON is the wire form of Model; the DVFS ladder is an unexported
+// field, so (un)marshalling goes through this shadow struct.
+type modelJSON struct {
+	DVFS        DVFS    `json:"dvfs"`
+	IdleWatts   float64 `json:"idle_watts"`
+	StallWatts  float64 `json:"stall_watts"`
+	DynFraction float64 `json:"dyn_fraction"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m Model) MarshalJSON() ([]byte, error) {
+	return json.Marshal(modelJSON{
+		DVFS: m.dvfs, IdleWatts: m.IdleWatts,
+		StallWatts: m.StallWatts, DynFraction: m.DynFraction,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Fields present in the document
+// overlay the receiver's current values, so decoding a partial document over
+// DefaultModel keeps the unspecified knobs at their defaults.
+func (m *Model) UnmarshalJSON(b []byte) error {
+	j := modelJSON{
+		DVFS: m.dvfs, IdleWatts: m.IdleWatts,
+		StallWatts: m.StallWatts, DynFraction: m.DynFraction,
+	}
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	m.dvfs, m.IdleWatts, m.StallWatts, m.DynFraction =
+		j.DVFS, j.IdleWatts, j.StallWatts, j.DynFraction
+	return nil
+}
 
 // ActivePower returns the power of a core executing compute work at
 // frequency f, for a benchmark whose nominal power at FMax is nominalWatts:

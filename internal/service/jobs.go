@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	hotpotato "repro"
+)
+
+// JobStatus is the lifecycle state of an async submission.
+type JobStatus string
+
+const (
+	JobQueued   JobStatus = "queued"
+	JobRunning  JobStatus = "running"
+	JobDone     JobStatus = "done"
+	JobFailed   JobStatus = "failed"
+	JobCanceled JobStatus = "canceled"
+)
+
+// Job is the public view of one async submission, as returned by
+// GET /v1/jobs/{id}. Result is set once Status is done (and also for failed
+// runs that produced a partial result, e.g. timeouts).
+type Job struct {
+	ID     string            `json:"id"`
+	Status JobStatus         `json:"status"`
+	Result *hotpotato.Result `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// jobState is the store's mutable record behind a Job view.
+type jobState struct {
+	mu   sync.Mutex
+	job  Job
+	spec hotpotato.RunSpec
+}
+
+func (j *jobState) snapshot() Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.job
+}
+
+func (j *jobState) setStatus(s JobStatus) {
+	j.mu.Lock()
+	j.job.Status = s
+	j.mu.Unlock()
+}
+
+func (j *jobState) finish(status JobStatus, res *hotpotato.Result, err error) {
+	j.mu.Lock()
+	j.job.Status = status
+	j.job.Result = res
+	if err != nil {
+		j.job.Error = err.Error()
+	}
+	j.mu.Unlock()
+}
+
+// jobStore tracks every submission by ID.
+type jobStore struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*jobState
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{jobs: make(map[string]*jobState)}
+}
+
+func (s *jobStore) create(spec hotpotato.RunSpec) *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j := &jobState{
+		job:  Job{ID: fmt.Sprintf("job-%d", s.seq), Status: JobQueued},
+		spec: spec,
+	}
+	s.jobs[j.job.ID] = j
+	return j
+}
+
+func (s *jobStore) get(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *jobStore) remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+}

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	hotpotato "repro"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers bounds the number of simulations executing at once, sync and
+	// async alike — the serving-side twin of ExperimentOptions.Workers.
+	// 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds the async job queue; POST /v1/jobs answers
+	// 429 Too Many Requests once it is full. 0 means 64.
+	QueueDepth int
+}
+
+// Server executes RunSpec documents over HTTP:
+//
+//	POST /v1/run        synchronous: body RunSpec, response {result}
+//	POST /v1/jobs       asynchronous: body RunSpec, response 202 {id, status}
+//	GET  /v1/jobs/{id}  job status/result
+//	GET  /healthz       liveness + queue depth
+//
+// All executions go through one semaphore of Config.Workers slots, so the
+// server never runs more simulations than the host has been budgeted for,
+// no matter how requests arrive. Platforms are shared between requests via
+// a PlatformCache. Shutdown stops intake, drains, then force-cancels
+// stragglers through their run contexts.
+type Server struct {
+	cfg   Config
+	cache *PlatformCache
+	jobs  *jobStore
+	queue chan *jobState
+	sem   chan struct{}
+
+	// baseCtx parents every async run (and is grafted onto sync request
+	// contexts), so cancelRuns aborts all in-flight simulations.
+	baseCtx    context.Context
+	cancelRuns context.CancelFunc
+
+	stop    chan struct{} // closed by Shutdown: stop intake, wind down workers
+	closed  atomic.Bool
+	workers sync.WaitGroup // async worker goroutines
+	runs    sync.WaitGroup // in-flight sync handlers
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		cache:      NewPlatformCache(),
+		jobs:       newJobStore(),
+		queue:      make(chan *jobState, cfg.QueueDepth),
+		sem:        make(chan struct{}, cfg.Workers),
+		baseCtx:    baseCtx,
+		cancelRuns: cancel,
+		stop:       make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the platform cache (introspection and tests).
+func (s *Server) Cache() *PlatformCache { return s.cache }
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// worker is one slot of the async pool: it claims queued jobs until Shutdown,
+// then drains whatever is still queued as canceled.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stop:
+			for {
+				select {
+				case j := <-s.queue:
+					j.finish(JobCanceled, nil, errors.New("server shutting down"))
+				default:
+					return
+				}
+			}
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+func (s *Server) runJob(j *jobState) {
+	j.setStatus(JobRunning)
+	res, err := s.execute(s.baseCtx, j.spec)
+	switch {
+	case err == nil:
+		j.finish(JobDone, res, nil)
+	case errors.Is(err, hotpotato.ErrCanceled):
+		j.finish(JobCanceled, res, err)
+	default:
+		j.finish(JobFailed, res, err)
+	}
+}
+
+// execute runs one validated spec under the concurrency bound. The semaphore
+// wait respects ctx, so a client that disconnects while queued never
+// occupies a slot at all.
+func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec) (*hotpotato.Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w before starting: %v", hotpotato.ErrCanceled, context.Cause(ctx))
+	}
+	defer func() { <-s.sem }()
+
+	spec = spec.WithDefaults()
+	plat, err := s.cache.Get(spec.Platform)
+	if err != nil {
+		return nil, err
+	}
+	return hotpotato.ExecuteSpecOnPlatform(ctx, plat, spec)
+}
+
+// decodeSpec reads, defaults and validates the request body; on failure it
+// writes the 400 (every invalid field at once, via errors.Join) and reports
+// !ok.
+func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.RunSpec, bool) {
+	var spec hotpotato.RunSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding RunSpec: %w", err))
+		return spec, false
+	}
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return spec, false
+	}
+	return spec, true
+}
+
+// runResponse is the envelope of POST /v1/run.
+type runResponse struct {
+	Result *hotpotato.Result `json:"result"`
+	// Error is set when the run ended early (e.g. MaxTime); the partial
+	// result is still included.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		return
+	}
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+
+	// The run dies with the request (client disconnect, deadline) or with
+	// the server (shutdown force-cancel), whichever comes first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.baseCtx, cancel)()
+
+	s.runs.Add(1)
+	defer s.runs.Done()
+
+	res, err := s.execute(ctx, spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, runResponse{Result: res})
+	case errors.Is(err, hotpotato.ErrTimeout):
+		// The simulation hit its own MaxTime: a complete answer about an
+		// incomplete workload, not a transport failure.
+		writeJSON(w, http.StatusOK, runResponse{Result: res, Error: err.Error()})
+	case errors.Is(err, hotpotato.ErrCanceled):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		return
+	}
+	spec, ok := s.decodeSpec(w, r)
+	if !ok {
+		return
+	}
+	j := s.jobs.create(spec)
+	select {
+	case s.queue <- j:
+		writeJSON(w, http.StatusAccepted, j.snapshot())
+	default:
+		s.jobs.remove(j.job.ID)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("job queue full (%d pending)", s.cfg.QueueDepth))
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.cache.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"queued":          len(s.queue),
+		"workers":         s.cfg.Workers,
+		"platform_hits":   hits,
+		"platform_misses": misses,
+	})
+}
+
+// Shutdown stops accepting work and drains: it waits for running and queued
+// jobs plus in-flight sync requests until ctx expires, then force-cancels
+// the remaining simulations — each aborts within one scheduler epoch of
+// simulated progress (hotpotato.ErrCanceled) — and waits for the pool to
+// exit. Safe to call once; later calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(s.stop)
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		s.runs.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelRuns()
+		<-done
+	}
+	s.cancelRuns() // release the base context either way
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is out; nothing sensible to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,342 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hotpotato "repro"
+)
+
+// quickSpecJSON is a fast 4×4 run in the minimal wire form a client would
+// POST.
+const quickSpecJSON = `{
+	"platform":  {"width": 4, "height": 4},
+	"scheduler": {"name": "hotpotato"},
+	"workload":  {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.3}]}
+}`
+
+// longSpecJSON runs long enough (in host time) to still be in flight while a
+// test cancels, overflows the queue, or shuts the server down.
+const longSpecJSON = `{
+	"platform":  {"width": 4, "height": 4},
+	"scheduler": {"name": "hotpotato"},
+	"workload":  {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 100}]}
+}`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	})
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestPlatformCacheSingleflight(t *testing.T) {
+	c := NewPlatformCache()
+	cfg := hotpotato.DefaultPlatformConfig(4, 4)
+
+	const callers = 8
+	plats := make([]*hotpotato.Platform, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Get(cfg)
+			if err != nil {
+				t.Error(err)
+			}
+			plats[i] = p
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if plats[i] != plats[0] {
+			t.Fatalf("caller %d got a different *Platform: %p vs %p", i, plats[i], plats[0])
+		}
+	}
+	if hits, misses := c.Stats(); misses != 1 || hits != callers-1 {
+		t.Errorf("want 1 miss / %d hits, got %d / %d", callers-1, misses, hits)
+	}
+	if c.Len() != 1 {
+		t.Errorf("want 1 entry, got %d", c.Len())
+	}
+
+	// A different chip is a different entry and a different pointer.
+	other, err := c.Get(hotpotato.DefaultPlatformConfig(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == plats[0] {
+		t.Error("distinct configs shared a Platform")
+	}
+	if c.Len() != 2 {
+		t.Errorf("want 2 entries, got %d", c.Len())
+	}
+}
+
+// TestSyncRunMatchesInProcess is the serving half of the equivalence
+// contract: POST /v1/run must return a Result bit-identical to the in-process
+// ExecuteSpec of the same document (host-time fields aside).
+func TestSyncRunMatchesInProcess(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", quickSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var envelope struct {
+		Result *hotpotato.Result `json:"result"`
+		Error  string            `json:"error"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatal(err)
+	}
+	if envelope.Error != "" || envelope.Result == nil {
+		t.Fatalf("unexpected envelope: %s", body)
+	}
+
+	var spec hotpotato.RunSpec
+	if err := json.Unmarshal([]byte(quickSpecJSON), &spec); err != nil {
+		t.Fatal(err)
+	}
+	want, err := hotpotato.ExecuteSpec(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.SchedulerHostTime = 0
+	envelope.Result.SchedulerHostTime = 0
+	if !reflect.DeepEqual(want, envelope.Result) {
+		t.Errorf("served result diverged from in-process run:\nwant %+v\ngot  %+v", want, envelope.Result)
+	}
+}
+
+// TestConcurrentRequestsSharePlatform asserts the tentpole caching property:
+// two concurrent requests for the same chip trigger exactly one platform
+// construction.
+func TestConcurrentRequestsSharePlatform(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 4})
+
+	const requests = 4
+	var wg sync.WaitGroup
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/run", quickSpecJSON)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	hits, misses := svc.Cache().Stats()
+	if misses != 1 {
+		t.Errorf("want exactly 1 platform construction, got %d (hits %d)", misses, hits)
+	}
+	if hits != requests-1 {
+		t.Errorf("want %d cache hits, got %d", requests-1, hits)
+	}
+}
+
+func TestValidationErrorsAreBadRequest(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run",
+		`{"scheduler": {"name": "no-such"}, "workload": {"kind": "bogus"}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// errors.Join: both problems reported in one round trip.
+	for _, fragment := range []string{"no-such", "bogus"} {
+		if !bytes.Contains(body, []byte(fragment)) {
+			t.Errorf("400 body does not mention %q: %s", fragment, body)
+		}
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", quickSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.ID == "" || job.Status != JobQueued {
+		t.Fatalf("unexpected submission response: %s", body)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = getJSON(t, ts.URL+"/v1/jobs/"+job.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+		if job.Status == JobDone {
+			break
+		}
+		if job.Status == JobFailed || job.Status == JobCanceled {
+			t.Fatalf("job ended as %s: %s", job.Status, job.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if job.Result == nil || job.Result.Makespan <= 0 {
+		t.Errorf("done job has no plausible result: %+v", job.Result)
+	}
+
+	resp, _ = getJSON(t, ts.URL+"/v1/jobs/job-does-not-exist")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", resp.StatusCode)
+	}
+}
+
+// TestQueueOverflowAnswers429 fills the single worker and the depth-1 queue,
+// then checks the next submission is rejected with 429, not queued or hung.
+func TestQueueOverflowAnswers429(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	statuses := make([]int, 3)
+	for i := range statuses {
+		resp, _ := postJSON(t, ts.URL+"/v1/jobs", longSpecJSON)
+		statuses[i] = resp.StatusCode
+	}
+	if statuses[0] != http.StatusAccepted {
+		t.Fatalf("first job rejected: %d", statuses[0])
+	}
+	if statuses[2] != http.StatusTooManyRequests {
+		t.Fatalf("queue overflow not rejected: statuses %v", statuses)
+	}
+
+	// Shutdown must cancel the still-running job within its drain budget:
+	// the run context aborts the simulation mid-flight.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_ = svc.Shutdown(ctx)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("shutdown took %s; force-cancel did not reach the running simulation", elapsed)
+	}
+}
+
+// TestSyncCancellationAbandonsRun checks a disconnected client stops its
+// simulation: the handler returns promptly and the worker slot frees up.
+func TestSyncCancellationAbandonsRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(longSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("cancelled request unexpectedly succeeded")
+	}
+
+	// The single worker slot must become available again quickly: a fast
+	// follow-up run proves the cancelled simulation released it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, body := postJSON(t, ts.URL+"/v1/run", quickSpecJSON)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("follow-up run: status %d: %s", resp.StatusCode, body)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker slot never freed after client disconnect")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("unexpected health: %s", body)
+	}
+}
+
+// TestShutdownRejectsNewWork checks the intake closes while a drain is in
+// progress.
+func TestShutdownRejectsNewWork(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/run", "/v1/jobs"} {
+		resp, _ := postJSON(t, ts.URL+path, quickSpecJSON)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("POST %s after shutdown: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}

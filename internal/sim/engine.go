@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -16,41 +18,41 @@ import (
 // Config controls one simulation run.
 type Config struct {
 	// TimeSlice is the integration/accounting step (seconds).
-	TimeSlice float64
+	TimeSlice float64 `json:"time_slice"`
 	// SchedulerEpoch is the default scheduler cadence when a Decision leaves
 	// NextInvoke at zero (paper §VI: 0.5 ms rotation epochs).
-	SchedulerEpoch float64
+	SchedulerEpoch float64 `json:"scheduler_epoch"`
 	// TDTM is the DTM trip temperature in °C (paper §VI: 70).
-	TDTM float64
+	TDTM float64 `json:"tdtm"`
 	// DTMEnabled engages the hardware thermal protection. The motivational
 	// Fig. 2(a) trace runs with it disabled to expose the violation.
-	DTMEnabled bool
+	DTMEnabled bool `json:"dtm_enabled"`
 	// DTMPerCore throttles only the cores above the threshold instead of
 	// crashing the whole chip's frequency (the paper describes chip-wide
 	// DTM, the default; modern parts often throttle per core).
-	DTMPerCore bool
+	DTMPerCore bool `json:"dtm_per_core"`
 	// DTMThrottleFreq is the chip-wide frequency DTM crashes to (Hz).
-	DTMThrottleFreq float64
+	DTMThrottleFreq float64 `json:"dtm_throttle_freq"`
 	// DTMHysteresis is how far below TDTM the chip must cool before DTM
 	// releases (K).
-	DTMHysteresis float64
+	DTMHysteresis float64 `json:"dtm_hysteresis"`
 	// MaxTime aborts runaway simulations (seconds of simulated time).
-	MaxTime float64
+	MaxTime float64 `json:"max_time"`
 	// HistoryWindow is the per-thread power history span (paper §V: 10 ms).
-	HistoryWindow float64
+	HistoryWindow float64 `json:"history_window"`
 	// SensorNoiseStdDev injects zero-mean Gaussian error (K) into the core
 	// temperatures the *scheduler* observes, modelling real thermal-sensor
 	// inaccuracy. The physics and the hardware DTM see true temperatures.
 	// Zero disables the noise.
-	SensorNoiseStdDev float64
+	SensorNoiseStdDev float64 `json:"sensor_noise_std_dev,omitempty"`
 	// SensorNoiseSeed makes the injected noise reproducible.
-	SensorNoiseSeed int64
+	SensorNoiseSeed int64 `json:"sensor_noise_seed,omitempty"`
 	// NoCContention enables the load-dependent memory latency model: the
 	// chip's aggregate LLC access rate drives an M/M/1 queueing factor on
 	// every access (interval-simulation style, one damped fixed-point
 	// iteration per slice). Off by default — the paper's evaluation regime
 	// is thermally, not bandwidth, limited.
-	NoCContention bool
+	NoCContention bool `json:"noc_contention,omitempty"`
 }
 
 // DefaultConfig returns the evaluation configuration of §VI.
@@ -67,31 +69,44 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) validate() error {
-	switch {
-	case c.TimeSlice <= 0:
-		return fmt.Errorf("sim: TimeSlice must be positive, got %g", c.TimeSlice)
-	case c.SchedulerEpoch < c.TimeSlice:
-		return fmt.Errorf("sim: SchedulerEpoch %g below TimeSlice %g", c.SchedulerEpoch, c.TimeSlice)
-	case c.TDTM <= 0:
-		return fmt.Errorf("sim: TDTM must be positive, got %g", c.TDTM)
-	case c.DTMThrottleFreq <= 0:
-		return fmt.Errorf("sim: DTM throttle frequency must be positive, got %g", c.DTMThrottleFreq)
-	case c.DTMHysteresis < 0:
-		return fmt.Errorf("sim: DTM hysteresis must be non-negative, got %g", c.DTMHysteresis)
-	case c.MaxTime <= 0:
-		return fmt.Errorf("sim: MaxTime must be positive, got %g", c.MaxTime)
-	case c.HistoryWindow <= 0:
-		return fmt.Errorf("sim: HistoryWindow must be positive, got %g", c.HistoryWindow)
-	case c.SensorNoiseStdDev < 0:
-		return fmt.Errorf("sim: sensor noise must be non-negative, got %g", c.SensorNoiseStdDev)
+// Validate checks the configuration and reports every violated constraint at
+// once (errors.Join), so a declarative caller can fix all fields in one pass.
+func (c Config) Validate() error {
+	var errs []error
+	if c.TimeSlice <= 0 {
+		errs = append(errs, fmt.Errorf("sim: TimeSlice must be positive, got %g", c.TimeSlice))
+	} else if c.SchedulerEpoch < c.TimeSlice {
+		errs = append(errs, fmt.Errorf("sim: SchedulerEpoch %g below TimeSlice %g", c.SchedulerEpoch, c.TimeSlice))
 	}
-	return nil
+	if c.TDTM <= 0 {
+		errs = append(errs, fmt.Errorf("sim: TDTM must be positive, got %g", c.TDTM))
+	}
+	if c.DTMThrottleFreq <= 0 {
+		errs = append(errs, fmt.Errorf("sim: DTM throttle frequency must be positive, got %g", c.DTMThrottleFreq))
+	}
+	if c.DTMHysteresis < 0 {
+		errs = append(errs, fmt.Errorf("sim: DTM hysteresis must be non-negative, got %g", c.DTMHysteresis))
+	}
+	if c.MaxTime <= 0 {
+		errs = append(errs, fmt.Errorf("sim: MaxTime must be positive, got %g", c.MaxTime))
+	}
+	if c.HistoryWindow <= 0 {
+		errs = append(errs, fmt.Errorf("sim: HistoryWindow must be positive, got %g", c.HistoryWindow))
+	}
+	if c.SensorNoiseStdDev < 0 {
+		errs = append(errs, fmt.Errorf("sim: sensor noise must be non-negative, got %g", c.SensorNoiseStdDev))
+	}
+	return errors.Join(errs...)
 }
 
 // ErrTimeout reports that the simulation hit Config.MaxTime before all tasks
 // finished.
 var ErrTimeout = errors.New("sim: simulation exceeded MaxTime")
+
+// ErrCanceled reports that a RunContext was cancelled before all tasks
+// finished. The partial Result accompanying it is valid up to the moment of
+// cancellation.
+var ErrCanceled = errors.New("sim: run canceled")
 
 // TaskStat records per-task outcome.
 type TaskStat struct {
@@ -102,6 +117,47 @@ type TaskStat struct {
 	Start     float64 // first instruction executed; -1 if never started
 	Finish    float64 // completion time; -1 if unfinished at timeout
 	Response  float64 // Finish − Arrival; NaN if unfinished
+}
+
+// taskStatJSON is the wire form of TaskStat. JSON has no NaN, so the
+// unfinished-task sentinel Response=NaN travels as null.
+type taskStatJSON struct {
+	ID        int      `json:"id"`
+	Benchmark string   `json:"benchmark"`
+	Threads   int      `json:"threads"`
+	Arrival   float64  `json:"arrival"`
+	Start     float64  `json:"start"`
+	Finish    float64  `json:"finish"`
+	Response  *float64 `json:"response"`
+}
+
+// MarshalJSON implements json.Marshaler; a NaN Response becomes null.
+func (t TaskStat) MarshalJSON() ([]byte, error) {
+	j := taskStatJSON{
+		ID: t.ID, Benchmark: t.Benchmark, Threads: t.Threads,
+		Arrival: t.Arrival, Start: t.Start, Finish: t.Finish,
+	}
+	if !math.IsNaN(t.Response) && !math.IsInf(t.Response, 0) {
+		j.Response = &t.Response
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (inverse of MarshalJSON).
+func (t *TaskStat) UnmarshalJSON(b []byte) error {
+	var j taskStatJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*t = TaskStat{
+		ID: j.ID, Benchmark: j.Benchmark, Threads: j.Threads,
+		Arrival: j.Arrival, Start: j.Start, Finish: j.Finish,
+		Response: math.NaN(),
+	}
+	if j.Response != nil {
+		t.Response = *j.Response
+	}
+	return nil
 }
 
 // Result is the outcome of a run.
@@ -124,6 +180,63 @@ type Result struct {
 	SchedulerHostTime    time.Duration // wall-clock spent inside Decide
 }
 
+// resultJSON is the wire form of Result. PeakTemp starts at −Inf and stays
+// there if a run is cancelled before its first slice, so it travels as a
+// nullable field; SchedulerHostTime is explicit nanoseconds.
+type resultJSON struct {
+	Scheduler            string     `json:"scheduler"`
+	SimulatedTime        float64    `json:"simulated_time"`
+	Makespan             float64    `json:"makespan"`
+	AvgResponse          float64    `json:"avg_response"`
+	MaxResponse          float64    `json:"max_response"`
+	AvgWait              float64    `json:"avg_wait"`
+	Tasks                []TaskStat `json:"tasks"`
+	PeakTemp             *float64   `json:"peak_temp"`
+	DTMTime              float64    `json:"dtm_time"`
+	DTMEvents            int        `json:"dtm_events"`
+	Migrations           int        `json:"migrations"`
+	EnergyJ              float64    `json:"energy_j"`
+	SchedulerInvocations int        `json:"scheduler_invocations"`
+	SchedulerHostTimeNS  int64      `json:"scheduler_host_time_ns"`
+}
+
+// MarshalJSON implements json.Marshaler; non-finite PeakTemp becomes null.
+func (r Result) MarshalJSON() ([]byte, error) {
+	j := resultJSON{
+		Scheduler: r.Scheduler, SimulatedTime: r.SimulatedTime,
+		Makespan: r.Makespan, AvgResponse: r.AvgResponse,
+		MaxResponse: r.MaxResponse, AvgWait: r.AvgWait, Tasks: r.Tasks,
+		DTMTime: r.DTMTime, DTMEvents: r.DTMEvents, Migrations: r.Migrations,
+		EnergyJ: r.EnergyJ, SchedulerInvocations: r.SchedulerInvocations,
+		SchedulerHostTimeNS: r.SchedulerHostTime.Nanoseconds(),
+	}
+	if !math.IsNaN(r.PeakTemp) && !math.IsInf(r.PeakTemp, 0) {
+		j.PeakTemp = &r.PeakTemp
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON implements json.Unmarshaler (inverse of MarshalJSON).
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var j resultJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	*r = Result{
+		Scheduler: j.Scheduler, SimulatedTime: j.SimulatedTime,
+		Makespan: j.Makespan, AvgResponse: j.AvgResponse,
+		MaxResponse: j.MaxResponse, AvgWait: j.AvgWait, Tasks: j.Tasks,
+		PeakTemp: math.Inf(-1), DTMTime: j.DTMTime, DTMEvents: j.DTMEvents,
+		Migrations: j.Migrations, EnergyJ: j.EnergyJ,
+		SchedulerInvocations: j.SchedulerInvocations,
+		SchedulerHostTime:    time.Duration(j.SchedulerHostTimeNS),
+	}
+	if j.PeakTemp != nil {
+		r.PeakTemp = *j.PeakTemp
+	}
+	return nil
+}
+
 // TraceFunc observes every simulation slice (for Fig. 2 style traces).
 type TraceFunc func(t float64, coreTemps, coreWatts, coreFreq []float64)
 
@@ -139,7 +252,7 @@ type Simulator struct {
 // New prepares a simulation. Tasks may arrive at any time ≥ 0; they are
 // admitted as simulated time passes their arrivals.
 func New(plat *Platform, cfg Config, sched Scheduler, tasks []*workload.Task) (*Simulator, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if sched == nil {
@@ -175,6 +288,19 @@ type threadRt struct {
 // collected metrics. If MaxTime is hit first, the partial Result is returned
 // together with ErrTimeout.
 func (s *Simulator) Run() (*Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation. The context is polled once
+// per scheduler invocation — i.e. at most one scheduler epoch of simulated
+// progress elapses after ctx is cancelled — and a cancelled run returns its
+// partial Result together with an error wrapping ErrCanceled. A nil ctx
+// behaves like context.Background(). The overhead for an uncancellable
+// context is one Err() call per epoch, invisible next to a Decide call.
+func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := s.plat.NumCores()
 	dt := s.cfg.TimeSlice
 	stepper, err := s.plat.Thermal.NewStepper(dt)
@@ -233,8 +359,14 @@ func (s *Simulator) Run() (*Result, error) {
 			return res, fmt.Errorf("%w after %.3f s with %d live threads", ErrTimeout, now, len(live))
 		}
 
-		// Scheduler invocation.
+		// Scheduler invocation. The cancellation poll lives here, on the
+		// epoch cadence, so aborting costs at most one epoch of simulated
+		// progress without touching the per-slice hot path.
 		if needSched || now >= nextSched-dt/2 {
+			if err := ctx.Err(); err != nil {
+				s.finalize(res, now)
+				return res, fmt.Errorf("%w after %.3f s: %v", ErrCanceled, now, err)
+			}
 			copy(coreTemps, temps[:n])
 			if s.cfg.SensorNoiseStdDev > 0 {
 				for i := range coreTemps {

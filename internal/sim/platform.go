@@ -29,16 +29,19 @@ type Platform struct {
 }
 
 // PlatformConfig collects the knobs of all substrates. The zero value is not
-// usable; start from DefaultPlatformConfig.
+// usable; start from DefaultPlatformConfig. It is a plain comparable value:
+// copy freely, compare with ==, use as a map key (the platform cache of the
+// serving layer keys shared Platforms this way).
 type PlatformConfig struct {
-	Width, Height int
-	CoreEdge      float64 // meters
-	NoC           noc.Config
-	Cache         cache.Config
-	Thermal       thermal.Config
-	Power         power.Model
-	BankAccess    float64 // LLC bank access time, seconds
-	DRAMLatency   float64 // off-chip penalty paid by LLC misses, seconds
+	Width       int            `json:"width"`
+	Height      int            `json:"height"`
+	CoreEdge    float64        `json:"core_edge"` // meters
+	NoC         noc.Config     `json:"noc"`
+	Cache       cache.Config   `json:"cache"`
+	Thermal     thermal.Config `json:"thermal"`
+	Power       power.Model    `json:"power"`
+	BankAccess  float64        `json:"bank_access"`  // LLC bank access time, seconds
+	DRAMLatency float64        `json:"dram_latency"` // off-chip penalty paid by LLC misses, seconds
 }
 
 // DefaultPlatformConfig returns the paper's Table I platform at the given

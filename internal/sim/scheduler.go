@@ -1,6 +1,10 @@
 package sim
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
+
 	"repro/internal/perf"
 	"repro/internal/workload"
 )
@@ -9,6 +13,30 @@ import (
 type ThreadID struct {
 	Task   int // workload.Task.ID
 	Thread int // 0 = master
+}
+
+// MarshalText renders the ID as "task:thread", which also makes ThreadID
+// usable as a JSON object key (pin maps in declarative scheduler specs).
+func (id ThreadID) MarshalText() ([]byte, error) {
+	return []byte(strconv.Itoa(id.Task) + ":" + strconv.Itoa(id.Thread)), nil
+}
+
+// UnmarshalText parses the "task:thread" form produced by MarshalText.
+func (id *ThreadID) UnmarshalText(text []byte) error {
+	task, thread, ok := strings.Cut(string(text), ":")
+	if !ok {
+		return fmt.Errorf("sim: thread id %q not in task:thread form", text)
+	}
+	t, err := strconv.Atoi(task)
+	if err != nil {
+		return fmt.Errorf("sim: thread id %q: %w", text, err)
+	}
+	th, err := strconv.Atoi(thread)
+	if err != nil {
+		return fmt.Errorf("sim: thread id %q: %w", text, err)
+	}
+	*id = ThreadID{Task: t, Thread: th}
+	return nil
 }
 
 // ThreadInfo is the scheduler-visible snapshot of one live thread.

@@ -20,23 +20,23 @@ import (
 // from a 45 °C ambient — the regime of the paper's motivational example.
 type Config struct {
 	// Capacitances, J/K.
-	SiCapacitance          float64 // silicon node, per core
-	SpCapacitance          float64 // spreader node, per core
-	SinkCapacitancePerCore float64 // heatsink node scales with chip size
+	SiCapacitance          float64 `json:"si_capacitance"`            // silicon node, per core
+	SpCapacitance          float64 `json:"sp_capacitance"`            // spreader node, per core
+	SinkCapacitancePerCore float64 `json:"sink_capacitance_per_core"` // heatsink node scales with chip size
 
 	// Conductances, W/K.
-	GLateralSi    float64 // between neighbouring silicon nodes
-	GVertical     float64 // silicon → spreader, per core
-	GLateralSp    float64 // between neighbouring spreader nodes
-	GSpreaderSink float64 // spreader segment → heatsink, per core
+	GLateralSi    float64 `json:"g_lateral_si"`    // between neighbouring silicon nodes
+	GVertical     float64 `json:"g_vertical"`      // silicon → spreader, per core
+	GLateralSp    float64 `json:"g_lateral_sp"`    // between neighbouring spreader nodes
+	GSpreaderSink float64 `json:"g_spreader_sink"` // spreader segment → heatsink, per core
 	// GSpreaderEdgeBonus adds extra spreader→sink conductance per exposed
 	// die edge of a cell (1 for edge cells, 2 for corners), modelling the
 	// heat spreader extending beyond the die: border cores cool better, so
 	// the chip centre runs hottest — the thermal heterogeneity of §III-A.
-	GSpreaderEdgeBonus  float64 // fraction of GSpreaderSink per exposed edge
-	GSinkAmbientPerCore float64 // heatsink → ambient, scales with chip size
+	GSpreaderEdgeBonus  float64 `json:"g_spreader_edge_bonus"`   // fraction of GSpreaderSink per exposed edge
+	GSinkAmbientPerCore float64 `json:"g_sink_ambient_per_core"` // heatsink → ambient, scales with chip size
 
-	Ambient float64 // ambient temperature, °C (paper §VI: 45)
+	Ambient float64 `json:"ambient"` // ambient temperature, °C (paper §VI: 45)
 }
 
 // DefaultConfig returns the calibrated model parameters.
