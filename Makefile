@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments vet fmt cover serve
+# Benchtime for the hot-loop baseline; CI overrides with BENCHTIME=1x for a
+# smoke run, a committed baseline should use the default statistical run.
+BENCHTIME ?= 1s
+
+.PHONY: all build test test-short race bench bench-all experiments vet fmt cover serve
 
 all: build test
 
@@ -36,6 +40,14 @@ serve:
 experiments:
 	$(GO) run ./cmd/experiments -exp all
 
-# One testing.B benchmark per paper table/figure.
+# Hot-loop perf trajectory: kernel (matrix/thermal), epoch (sim), ring-scan
+# (rotation) and sweep (experiments) benchmarks → BENCH_hotloop.json
+# (docs/PERFORMANCE.md describes the format).
 bench:
+	$(GO) test -run '^$$' -bench '^BenchmarkHotloop' -benchmem -benchtime $(BENCHTIME) ./... \
+		| $(GO) run ./cmd/benchjson -out BENCH_hotloop.json
+	@echo "wrote BENCH_hotloop.json"
+
+# One testing.B benchmark per paper table/figure.
+bench-all:
 	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' ./...

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/thermal
+cpu: AMD EPYC 7B13
+BenchmarkHotloopStepAlloc-8   	   21862	     54093 ns/op	    4424 B/op	       4 allocs/op
+BenchmarkHotloopStepTo-8      	   22832	     52205 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/thermal	3.456s
+pkg: repro
+BenchmarkHotloopSweep-8   	       1	1234567890 ns/op	     99.5 peak_speedup_%	 1000 B/op	      10 allocs/op
+ok  	repro	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("context = %q/%q/%q", doc.GOOS, doc.GOARCH, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[1]
+	if b.Name != "HotloopStepTo" || b.Procs != 8 || b.Package != "repro/internal/thermal" {
+		t.Errorf("benchmark = %+v", b)
+	}
+	if b.Iterations != 22832 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	for unit, want := range map[string]float64{"ns/op": 52205, "B/op": 0, "allocs/op": 0} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("%s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := doc.Benchmarks[2].Metrics["peak_speedup_%"]; got != 99.5 {
+		t.Errorf("extra metric = %v, want 99.5", got)
+	}
+	if doc.Benchmarks[2].Package != "repro" {
+		t.Errorf("package tracking broke: %q", doc.Benchmarks[2].Package)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",
+		"BenchmarkBroken-8 not-a-number 5 ns/op",
+		"BenchmarkOdd-8 100 5 ns/op trailing",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}

@@ -31,10 +31,22 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "async job queue depth (0 = 64)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before in-flight runs are cancelled")
+	retention := flag.Duration("job-retention", 0, "how long finished async jobs stay queryable (0 = 10m, negative = keep forever)")
+	readHeader := flag.Duration("read-header-timeout", 5*time.Second, "limit on reading request headers (slowloris guard)")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "limit on reading a full request including the body")
+	idle := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, JobRetention: *retention})
+	// No WriteTimeout: synchronous /v1/run responses legitimately take as
+	// long as the simulation they carry.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: *readHeader,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idle,
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

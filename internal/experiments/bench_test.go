@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// BenchmarkHotloopSweep is the top of the hot-loop stack for the committed
+// BENCH_hotloop.json baseline (make bench): a small multi-seed Fig. 4(b)
+// sweep fanned over the worker pool. One op = 2 seeds × 2 rates × 2
+// schedulers = 8 full simulations; every one of their epoch loops runs the
+// zero-allocation stepping path, so allocs/op here tracks only per-epoch and
+// harness-level work.
+func BenchmarkHotloopSweep(b *testing.B) {
+	opts := Options{GridEdge: 4, WorkScale: 0.3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := Fig4bMultiSeed(opts, []float64{100, 200}, 6, []int64{1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 2 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}

@@ -180,12 +180,25 @@ func (m *Dense) sameShape(b *Dense) {
 
 // Mul returns the matrix product m*b.
 func (m *Dense) Mul(b *Dense) *Dense {
+	c := New(m.rows, b.cols)
+	m.MulTo(c, b)
+	return c
+}
+
+// MulTo computes the matrix product m*b into dst, which must be
+// m.Rows()×b.Cols(). It performs no allocation. dst must not alias m or b.
+func (m *Dense) MulTo(dst, b *Dense) {
 	if m.cols != b.rows {
 		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols))
 	}
-	c := New(m.rows, b.cols)
+	if dst.rows != m.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulTo destination is %dx%d, want %dx%d", dst.rows, dst.cols, m.rows, b.cols))
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
 	for i := 0; i < m.rows; i++ {
-		ci := c.data[i*c.cols : (i+1)*c.cols]
+		ci := dst.data[i*dst.cols : (i+1)*dst.cols]
 		for k := 0; k < m.cols; k++ {
 			aik := m.data[i*m.cols+k]
 			if aik == 0 {
@@ -197,24 +210,34 @@ func (m *Dense) Mul(b *Dense) *Dense {
 			}
 		}
 	}
-	return c
 }
 
 // MulVec returns the matrix-vector product m*x.
 func (m *Dense) MulVec(x []float64) []float64 {
+	y := make([]float64, m.rows)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes the matrix-vector product m*x into dst, which must have
+// length m.Rows(). It performs no allocation — the destination-passing twin of
+// MulVec for hot loops. dst must not alias x (the product reads every element
+// of x for every element of dst it writes).
+func (m *Dense) MulVecTo(dst, x []float64) {
 	if m.cols != len(x) {
 		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by vector of length %d", m.rows, m.cols, len(x)))
 	}
-	y := make([]float64, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecTo destination length %d, want %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
 }
 
 // Transpose returns mᵀ.

@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"fmt"
 	"math"
 )
 
@@ -75,13 +76,30 @@ func padeCoefficients(m int) []float64 {
 // e^(A·t) = V·diag(e^{λ·t})·V⁻¹. This is the MatEx method the paper uses.
 func ExpmEigen(v *Dense, lambda []float64, vinv *Dense, t float64) *Dense {
 	n := v.rows
-	// Compute V · diag(e^{λt}) once, then multiply by V⁻¹.
-	scaledV := New(n, n)
+	dst := New(n, n)
+	ExpmEigenTo(dst, New(n, n), v, lambda, vinv, t)
+	return dst
+}
+
+// ExpmEigenTo is the destination-passing form of ExpmEigen: it computes
+// e^(A·t) into dst, using scratch to hold the intermediate V·diag(e^{λt})
+// product. dst and scratch must both be n×n (n = v.Rows()), must be distinct,
+// and must not alias v or vinv. It performs no allocation, so a caller that
+// re-derives propagators for many step sizes (τ adaptation, stepper rebuilds)
+// can reuse one pair of buffers.
+func ExpmEigenTo(dst, scratch *Dense, v *Dense, lambda []float64, vinv *Dense, t float64) {
+	n := v.rows
+	if len(lambda) != n {
+		panic(fmt.Sprintf("matrix: ExpmEigenTo got %d eigenvalues for %dx%d eigenvectors", len(lambda), v.rows, v.cols))
+	}
+	if scratch.rows != n || scratch.cols != n {
+		panic(fmt.Sprintf("matrix: ExpmEigenTo scratch is %dx%d, want %dx%d", scratch.rows, scratch.cols, n, n))
+	}
 	for k := 0; k < n; k++ {
 		e := math.Exp(lambda[k] * t)
 		for i := 0; i < n; i++ {
-			scaledV.data[i*n+k] = v.data[i*n+k] * e
+			scratch.data[i*n+k] = v.data[i*n+k] * e
 		}
 	}
-	return scaledV.Mul(vinv)
+	scratch.MulTo(dst, vinv)
 }

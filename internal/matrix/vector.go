@@ -38,6 +38,15 @@ func VecScale(s float64, a []float64) []float64 {
 	return c
 }
 
+// VecSubTo computes dst = a − b without allocating. dst may alias a or b.
+func VecSubTo(dst, a, b []float64) {
+	checkLen(dst, a)
+	checkLen(a, b)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
 // VecAddTo accumulates dst += a in place.
 func VecAddTo(dst, a []float64) {
 	checkLen(dst, a)

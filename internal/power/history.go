@@ -5,9 +5,16 @@ import "fmt"
 // History is a sliding time-weighted window of power samples. HotPotato's
 // Algorithm 1 uses "the power history of a thread from the last 10 ms" (§V)
 // to estimate the power a rotation will impose on each core.
+//
+// Record is on the simulator's per-slice hot path (one call per live thread
+// per slice), so the window is kept in a compacting buffer: evicted samples
+// advance a head index, and a full buffer is compacted in place instead of
+// growing — once the capacity covers window/duration samples, Record never
+// allocates again.
 type History struct {
 	window  float64
 	entries []sample
+	head    int     // entries[head:] are the live samples, oldest first
 	total   float64 // sum of durations currently held
 }
 
@@ -36,16 +43,22 @@ func (h *History) Record(duration, watts float64) {
 	if duration <= 0 {
 		return
 	}
+	// Reclaim the evicted prefix before append would grow the buffer.
+	if len(h.entries) == cap(h.entries) && h.head > 0 {
+		n := copy(h.entries, h.entries[h.head:])
+		h.entries = h.entries[:n]
+		h.head = 0
+	}
 	h.entries = append(h.entries, sample{duration, watts})
 	h.total += duration
 	// Evict whole samples from the front; trim the boundary sample so the
 	// window is honoured exactly.
-	for h.total > h.window && len(h.entries) > 0 {
+	for h.total > h.window && h.head < len(h.entries) {
 		excess := h.total - h.window
-		head := &h.entries[0]
+		head := &h.entries[h.head]
 		if head.duration <= excess {
 			h.total -= head.duration
-			h.entries = h.entries[1:]
+			h.head++
 		} else {
 			head.duration -= excess
 			h.total -= excess
@@ -60,7 +73,7 @@ func (h *History) Average(fallback float64) float64 {
 		return fallback
 	}
 	var energy float64
-	for _, s := range h.entries {
+	for _, s := range h.entries[h.head:] {
 		energy += s.duration * s.watts
 	}
 	return energy / h.total
@@ -73,5 +86,6 @@ func (h *History) Span() float64 { return h.total }
 // Reset discards all samples.
 func (h *History) Reset() {
 	h.entries = h.entries[:0]
+	h.head = 0
 	h.total = 0
 }

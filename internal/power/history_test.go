@@ -83,6 +83,43 @@ func TestReset(t *testing.T) {
 	}
 }
 
+// Record runs once per live thread per simulation slice. Once the window is
+// full at a fixed cadence, the compacting buffer must stop allocating —
+// before the head-index rework, the evicted-prefix reslice made append
+// reallocate the backing array forever.
+func TestRecordZeroAllocsInSteadyState(t *testing.T) {
+	h, _ := NewHistory(DefaultWindow)
+	const dt = 0.1e-3
+	for i := 0; i < 400; i++ { // several windows' worth of warmup
+		h.Record(dt, 5)
+	}
+	a := testing.AllocsPerRun(1000, func() { h.Record(dt, 5) })
+	if a != 0 {
+		t.Errorf("steady-state Record allocates %v per call, want 0", a)
+	}
+}
+
+// Compaction must preserve the window contents exactly: a compacting history
+// reports the same average as a freshly rebuilt one at every step.
+func TestRecordCompactionPreservesWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	h, _ := NewHistory(5e-3)
+	type rec struct{ d, w float64 }
+	var all []rec
+	for i := 0; i < 500; i++ {
+		s := rec{d: r.Float64()*0.5e-3 + 1e-6, w: r.Float64() * 10}
+		all = append(all, s)
+		h.Record(s.d, s.w)
+		fresh, _ := NewHistory(5e-3)
+		for _, e := range all {
+			fresh.Record(e.d, e.w)
+		}
+		if got, want := h.Average(0), fresh.Average(0); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("step %d: compacted Average = %v, fresh rebuild = %v", i, got, want)
+		}
+	}
+}
+
 // Property: Average lies within [min, max] of the recorded sample powers.
 func TestPropAverageBounded(t *testing.T) {
 	f := func(seed int64) bool {

@@ -24,6 +24,17 @@ type RingEvaluator struct {
 	// vCore is the core-row block of V: n×N (maps eigenspace back to core
 	// temperatures only).
 	vCore *matrix.Dense
+
+	// Scratch reused across PeakRingRotation calls — the reason a
+	// RingEvaluator is confined to one goroutine (docs/CONCURRENCY.md).
+	// After the first call for a given ring size, an evaluation allocates
+	// nothing.
+	decay []float64   // e^{−λτ} per eigenmode
+	yBase []float64   // eigenspace image of the background power field
+	y     [][]float64 // per-epoch deviation images, grown to the largest δ seen
+	z     []float64   // Horner accumulator of the periodic forcing
+	u     []float64   // periodic-steady-state eigenstate
+	coreT []float64   // core temperatures at one epoch boundary
 }
 
 // NewRingEvaluator precomputes the design-time constants.
@@ -43,7 +54,14 @@ func (c *Calculator) NewRingEvaluator() *RingEvaluator {
 			vCore.Set(i, k, c.v.At(i, k))
 		}
 	}
-	return &RingEvaluator{c: c, wT: wT, vCore: vCore}
+	return &RingEvaluator{
+		c: c, wT: wT, vCore: vCore,
+		decay: make([]float64, N),
+		yBase: make([]float64, N),
+		z:     make([]float64, N),
+		u:     make([]float64, N),
+		coreT: make([]float64, n),
+	}
 }
 
 // PeakRingRotation returns the steady-periodic peak core temperature (°C) of
@@ -74,14 +92,17 @@ func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores 
 		}
 	}
 
-	decay := make([]float64, N)
+	decay := e.decay
 	for k, l := range c.lambda {
 		decay[k] = math.Exp(-l * tau)
 	}
 
 	// Background image in eigenspace: yBase = W·P_base. W's rows are the
 	// transposed columns in wT, so accumulate column-wise.
-	yBase := make([]float64, N)
+	yBase := e.yBase
+	for k := range yBase {
+		yBase[k] = 0
+	}
 	for j := 0; j < n; j++ {
 		w := base[j]
 		if w == 0 {
@@ -94,9 +115,15 @@ func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores 
 	}
 
 	// Per-epoch deviation images: only the ring's cores differ from base.
-	y := make([][]float64, size)
+	// The rows live in the evaluator's scratch, grown to the largest ring
+	// evaluated so far.
+	for len(e.y) < size {
+		e.y = append(e.y, make([]float64, N))
+	}
+	y := e.y[:size]
 	for ep := 0; ep < size; ep++ {
-		ye := append([]float64(nil), yBase...)
+		ye := y[ep]
+		copy(ye, yBase)
 		for i, watts := range slotWatts {
 			core := ringCores[(i+ep)%size]
 			d := watts - base[core]
@@ -108,18 +135,20 @@ func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores 
 				ye[k] += d * row[k]
 			}
 		}
-		y[ep] = ye
 	}
 
 	// Horner accumulation of the periodic forcing, then the fixed point
 	// (the geometric-series closed form of Eqs. 9–10).
-	z := make([]float64, N)
+	z := e.z
+	for k := range z {
+		z[k] = 0
+	}
 	for ep := 0; ep < size; ep++ {
 		for k := 0; k < N; k++ {
 			z[k] = decay[k]*z[k] + (1-decay[k])*y[ep][k]
 		}
 	}
-	u := make([]float64, N)
+	u := e.u
 	for k := 0; k < N; k++ {
 		denom := 1 - math.Exp(-c.lambda[k]*tau*float64(size))
 		if denom <= 0 {
@@ -135,7 +164,8 @@ func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores 
 		for k := 0; k < N; k++ {
 			u[k] = decay[k]*u[k] + (1-decay[k])*y[ep][k]
 		}
-		if t := matrix.VecMax(e.vCore.MulVec(u)); t > peak {
+		e.vCore.MulVecTo(e.coreT, u)
+		if t := matrix.VecMax(e.coreT); t > peak {
 			peak = t
 		}
 	}

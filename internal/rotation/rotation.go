@@ -150,12 +150,14 @@ func (c *Calculator) Evaluate(plan Plan) (*Result, error) {
 	}
 
 	// Per-epoch steady states S_e = B⁻¹ P_e (relative to ambient), then
-	// their eigenspace images y_e = V⁻¹ S_e.
+	// their eigenspace images y_e = V⁻¹ S_e. The node-space intermediates
+	// live in two per-call scratch vectors reused across epochs.
 	y := make([][]float64, delta)
-	s := make([][]float64, delta)
+	p := make([]float64, N)
+	se := make([]float64, N)
 	for e := 0; e < delta; e++ {
-		se := c.binv.MulVec(c.m.ExtendPower(plan.Powers[e]))
-		s[e] = se
+		c.m.ExtendPowerInto(p, plan.Powers[e])
+		c.binv.MulVecTo(se, p)
 		y[e] = c.vinv.MulVec(se)
 	}
 
@@ -188,12 +190,14 @@ func (c *Calculator) Evaluate(plan Plan) (*Result, error) {
 	res.Start = matrix.VecAdd(start, ambient)
 
 	// Walk one period from u*, recording absolute temperatures at each epoch
-	// end and tracking the peak over cores.
+	// end and tracking the peak over cores. te is reused across epochs; the
+	// only per-epoch allocation is the EpochEnd row the caller receives.
+	te := make([]float64, N)
 	for e := 0; e < delta; e++ {
 		for k := 0; k < N; k++ {
 			u[k] = decay[k]*u[k] + (1-decay[k])*y[e][k]
 		}
-		te := c.v.MulVec(u)
+		c.v.MulVecTo(te, u)
 		abs := matrix.VecAdd(te, ambient)
 		res.EpochEnd[e] = abs
 		for core := 0; core < c.n; core++ {
@@ -231,7 +235,7 @@ func (c *Calculator) BruteForcePeak(plan Plan, periods, substeps int) (float64, 
 		last := p == periods-1
 		for e := 0; e < plan.Delta(); e++ {
 			for s := 0; s < substeps; s++ {
-				t = stepper.Step(t, plan.Powers[e])
+				stepper.StepTo(t, t, plan.Powers[e])
 			}
 			if last {
 				if mc := c.m.MaxCoreTemp(t); mc > peak {

@@ -35,10 +35,14 @@ func (c *Calculator) EvaluateFine(plan Plan, subsamples int) (*Result, error) {
 		decaySub[k] = math.Exp(-l * sub)
 	}
 
-	// Eigenspace images of the per-epoch steady states.
+	// Eigenspace images of the per-epoch steady states (node-space
+	// intermediates reused across epochs, as in Evaluate).
 	y := make([][]float64, delta)
+	p := make([]float64, N)
+	se := make([]float64, N)
 	for e := 0; e < delta; e++ {
-		se := c.binv.MulVec(c.m.ExtendPower(plan.Powers[e]))
+		c.m.ExtendPowerInto(p, plan.Powers[e])
+		c.binv.MulVecTo(se, p)
 		y[e] = c.vinv.MulVec(se)
 	}
 
@@ -65,12 +69,14 @@ func (c *Calculator) EvaluateFine(plan Plan, subsamples int) (*Result, error) {
 	}
 	res.Start = matrix.VecAdd(c.v.MulVec(u), ambient)
 
+	te := make([]float64, N)
 	for e := 0; e < delta; e++ {
 		for s := 0; s < subsamples; s++ {
 			for k := 0; k < N; k++ {
 				u[k] = decaySub[k]*u[k] + (1-decaySub[k])*y[e][k]
 			}
-			abs := matrix.VecAdd(c.v.MulVec(u), ambient)
+			c.v.MulVecTo(te, u)
+			abs := matrix.VecAdd(te, ambient)
 			for core := 0; core < c.n; core++ {
 				if abs[core] > res.Peak {
 					res.Peak = abs[core]

@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	hotpotato "repro"
 )
@@ -28,11 +29,19 @@ type Job struct {
 	Error  string            `json:"error,omitempty"`
 }
 
+// Terminal reports whether s is a final state (the job will never run again).
+func (s JobStatus) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
 // jobState is the store's mutable record behind a Job view.
 type jobState struct {
 	mu   sync.Mutex
 	job  Job
 	spec hotpotato.RunSpec
+	// doneAt is when the job reached a terminal status; the janitor evicts
+	// the record once it has been terminal for the configured retention.
+	doneAt time.Time
 }
 
 func (j *jobState) snapshot() Job {
@@ -54,7 +63,16 @@ func (j *jobState) finish(status JobStatus, res *hotpotato.Result, err error) {
 	if err != nil {
 		j.job.Error = err.Error()
 	}
+	j.doneAt = time.Now()
 	j.mu.Unlock()
+}
+
+// terminalSince returns when the job entered a terminal status, and whether
+// it has.
+func (j *jobState) terminalSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.doneAt, j.job.Status.Terminal()
 }
 
 // jobStore tracks every submission by ID.
@@ -91,4 +109,26 @@ func (s *jobStore) remove(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.jobs, id)
+}
+
+func (s *jobStore) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// evictTerminal removes every job that reached a terminal status at or before
+// cutoff, returning how many were evicted. Queued and running jobs are never
+// touched.
+func (s *jobStore) evictTerminal(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	evicted := 0
+	for id, j := range s.jobs {
+		if doneAt, terminal := j.terminalSince(); terminal && !doneAt.After(cutoff) {
+			delete(s.jobs, id)
+			evicted++
+		}
+	}
+	return evicted
 }

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	hotpotato "repro"
 )
@@ -22,7 +23,17 @@ type Config struct {
 	// QueueDepth bounds the async job queue; POST /v1/jobs answers
 	// 429 Too Many Requests once it is full. 0 means 64.
 	QueueDepth int
+	// JobRetention is how long finished jobs (done, failed, canceled) stay
+	// queryable via GET /v1/jobs/{id} before the janitor evicts them —
+	// without eviction a long-running server grows its job store without
+	// bound. 0 means 10 minutes; negative disables eviction (jobs are kept
+	// forever, the pre-retention behaviour).
+	JobRetention time.Duration
 }
+
+// DefaultJobRetention is how long terminal jobs stay queryable when
+// Config.JobRetention is zero.
+const DefaultJobRetention = 10 * time.Minute
 
 // Server executes RunSpec documents over HTTP:
 //
@@ -62,6 +73,9 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.JobRetention == 0 {
+		cfg.JobRetention = DefaultJobRetention
+	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
@@ -77,7 +91,36 @@ func New(cfg Config) *Server {
 		s.workers.Add(1)
 		go s.worker()
 	}
+	if cfg.JobRetention > 0 {
+		s.workers.Add(1)
+		go s.janitor()
+	}
 	return s
+}
+
+// janitor periodically evicts jobs that have been terminal for longer than
+// Config.JobRetention, bounding the job store on a long-running server.
+// Sweeping at a quarter of the retention keeps the actual lifetime within
+// 1.25× the configured value.
+func (s *Server) janitor() {
+	defer s.workers.Done()
+	interval := s.cfg.JobRetention / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-tick.C:
+			s.jobs.evictTerminal(now.Add(-s.cfg.JobRetention))
+		}
+	}
 }
 
 // Cache exposes the platform cache (introspection and tests).

@@ -327,6 +327,138 @@ func TestShutdownRejectsNewWork(t *testing.T) {
 	}
 }
 
+// TestEvictTerminalSparesLiveJobs pins the eviction predicate at the store
+// level: only jobs that were terminal at or before the cutoff go; queued,
+// running and recently-finished jobs all survive.
+func TestEvictTerminalSparesLiveJobs(t *testing.T) {
+	store := newJobStore()
+	var spec hotpotato.RunSpec
+
+	queued := store.create(spec)
+	running := store.create(spec)
+	running.setStatus(JobRunning)
+	oldDone := store.create(spec)
+	oldDone.finish(JobDone, nil, nil)
+	oldFailed := store.create(spec)
+	oldFailed.finish(JobFailed, nil, context.Canceled)
+	freshDone := store.create(spec)
+	freshDone.finish(JobDone, nil, nil)
+	freshDone.mu.Lock()
+	freshDone.doneAt = time.Now().Add(time.Hour) // "finished in the future" = after any cutoff
+	freshDone.mu.Unlock()
+
+	if n := store.evictTerminal(time.Now()); n != 2 {
+		t.Fatalf("evicted %d jobs, want 2 (the stale done + failed)", n)
+	}
+	for _, keep := range []*jobState{queued, running, freshDone} {
+		if _, ok := store.get(keep.job.ID); !ok {
+			t.Errorf("job %s (%s) was evicted but should survive", keep.job.ID, keep.snapshot().Status)
+		}
+	}
+	for _, gone := range []*jobState{oldDone, oldFailed} {
+		if _, ok := store.get(gone.job.ID); ok {
+			t.Errorf("stale terminal job %s still in store", gone.job.ID)
+		}
+	}
+}
+
+// TestJanitorEvictsFinishedJobs is the leak regression test: with a short
+// retention, a completed async job must eventually answer 404, while a job
+// that is still running is never touched.
+func TestJanitorEvictsFinishedJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4, JobRetention: 50 * time.Millisecond})
+
+	// A job slow enough (in host time) to still be running when the quick
+	// one below has finished, aged out and been evicted.
+	hugeSpecJSON := strings.Replace(longSpecJSON, `"work_scale": 100`, `"work_scale": 100000`, 1)
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", hugeSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("long job: status %d: %s", resp.StatusCode, body)
+	}
+	var longJob Job
+	if err := json.Unmarshal(body, &longJob); err != nil {
+		t.Fatal(err)
+	}
+
+	// A quick job that finishes and should then age out.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", quickSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("quick job: status %d: %s", resp.StatusCode, body)
+	}
+	var quickJob Job
+	if err := json.Unmarshal(body, &quickJob); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, body = getJSON(t, ts.URL+"/v1/jobs/"+quickJob.ID)
+		if resp.StatusCode == http.StatusNotFound {
+			break // evicted after finishing — the leak is plugged
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &quickJob); err != nil {
+			t.Fatal(err)
+		}
+		if s := quickJob.Status; s == JobFailed || s == JobCanceled {
+			t.Fatalf("quick job ended as %s: %s", s, quickJob.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("finished job never evicted (still %s)", quickJob.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The in-flight job outlived many retention periods and must still be
+	// queryable.
+	resp, body = getJSON(t, ts.URL+"/v1/jobs/"+longJob.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("running job evicted: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &longJob); err != nil {
+		t.Fatal(err)
+	}
+	if longJob.Status.Terminal() {
+		t.Fatalf("long job unexpectedly terminal: %+v", longJob)
+	}
+}
+
+// TestNegativeRetentionKeepsJobsForever checks the opt-out: JobRetention < 0
+// runs no janitor, so finished jobs stay queryable.
+func TestNegativeRetentionKeepsJobsForever(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobRetention: -1})
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", quickSpecJSON)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !job.Status.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		resp, body = getJSON(t, ts.URL+"/v1/jobs/"+job.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Far longer than any plausible sweep interval would need.
+	time.Sleep(100 * time.Millisecond)
+	if resp, _ = getJSON(t, ts.URL+"/v1/jobs/"+job.ID); resp.StatusCode != http.StatusOK {
+		t.Errorf("job evicted despite retention disabled: status %d", resp.StatusCode)
+	}
+}
+
 func getJSON(t *testing.T, url string) (*http.Response, []byte) {
 	t.Helper()
 	resp, err := http.Get(url)

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// timeoutSim builds a run that is stopped by MaxTime, so two configurations
+// with different TimeSlice values simulate exactly the same span with the
+// same number of scheduler epochs — only the slice count differs.
+func timeoutSim(t testing.TB, plat *Platform, dt float64) *Simulator {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.TimeSlice = dt
+	cfg.MaxTime = 0.05                               // 100 epochs at the default 0.5 ms cadence
+	task := smallTask(t, "blackscholes", 4, 0, 1000) // cannot finish in MaxTime
+	s, err := New(plat, cfg, &greedy{}, []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// The slice-level hot loop (execute threads, integrate the thermal model,
+// DTM, completion scan) must be allocation-free: doubling the slice count of
+// an identical simulated span must not add per-slice allocations. Per-epoch
+// work (scheduler decisions, state snapshots) is identical on both sides and
+// cancels out of the comparison.
+func TestEngineSliceBodyDoesNotAllocate(t *testing.T) {
+	plat := testPlatform(t, 4, 4)
+	const dt = 0.1e-3
+	run := func(dt float64) {
+		s := timeoutSim(t, plat, dt)
+		if _, err := s.Run(); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("run with dt=%g: want ErrTimeout, got %v", dt, err)
+		}
+	}
+	coarse := testing.AllocsPerRun(1, func() { run(dt) })
+	fine := testing.AllocsPerRun(1, func() { run(dt / 2) })
+
+	coarseSlices := 0.05 / dt
+	perSlice := (fine - coarse) / coarseSlices // fine runs coarseSlices extra slices
+	if perSlice > 1 {
+		t.Errorf("slice body allocates: %.2f allocs per extra slice (coarse run %v, fine run %v)",
+			perSlice, coarse, fine)
+	}
+}
+
+// --- hot-loop epoch baseline (make bench → BENCH_hotloop.json) --------------
+
+// BenchmarkHotloopEpoch measures the engine's epoch loop end to end: one op
+// is a full 50 ms (100-epoch, 500-slice) simulation of a loaded 4×4 chip.
+// allocs/op is dominated by per-epoch scheduler work; the per-slice thermal
+// path contributes zero.
+func BenchmarkHotloopEpoch(b *testing.B) {
+	plat := testPlatform(b, 4, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := timeoutSim(b, plat, 0.1e-3)
+		b.StartTimer()
+		if _, err := s.Run(); !errors.Is(err, ErrTimeout) {
+			b.Fatal(err)
+		}
+	}
+}

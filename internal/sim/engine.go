@@ -446,7 +446,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			contention = 0.5*contention + 0.5*target
 		}
 
-		temps = stepper.Step(temps, corePower)
+		stepper.StepTo(temps, temps, corePower)
 		now += dt
 
 		if mc := s.plat.Thermal.MaxCoreTemp(temps); mc > res.PeakTemp {

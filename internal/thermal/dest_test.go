@@ -1,0 +1,206 @@
+package thermal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+)
+
+// Tests for the zero-allocation stepping path: StepTo/SteadyStateInto/
+// ExtendPowerInto must be bit-identical to the allocating APIs (the engine
+// swaps between them freely) and must not allocate.
+
+func destModel(t testing.TB, w, h int) *Model {
+	t.Helper()
+	fp, err := floorplan.New(w, h, 0.0009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(fp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randPower(r *rand.Rand, n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = r.Float64() * 8
+	}
+	return p
+}
+
+func TestPropStepToBitIdenticalToStep(t *testing.T) {
+	m := destModel(t, 4, 4)
+	s, err := m.NewStepper(0.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tv := m.InitialTemps()
+		for i := range tv {
+			tv[i] += r.Float64() * 20
+		}
+		p := randPower(r, m.NumCores())
+		want := s.Step(tv, p)
+		dst := make([]float64, m.NumNodes())
+		s.StepTo(dst, tv, p)
+		for i := range dst {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		// In-place stepping (dst aliases t) must give the same answer.
+		s.StepTo(tv, tv, p)
+		for i := range tv {
+			if tv[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSteadyStateIntoBitIdentical(t *testing.T) {
+	m := destModel(t, 4, 4)
+	s, err := m.NewStepper(0.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randPower(r, m.NumCores())
+		want := m.SteadyState(p)
+		dst := make([]float64, m.NumNodes())
+		s.SteadyStateInto(dst, p)
+		for i := range dst {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtendPowerIntoClearsStaleTail(t *testing.T) {
+	m := destModel(t, 4, 4)
+	dst := make([]float64, m.NumNodes())
+	for i := range dst {
+		dst[i] = 99
+	}
+	p := make([]float64, m.NumCores())
+	p[3] = 7
+	m.ExtendPowerInto(dst, p)
+	want := m.ExtendPower(p)
+	for i := range dst {
+		if dst[i] != want[i] {
+			t.Fatalf("node %d: ExtendPowerInto = %v, ExtendPower = %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestTransientMatchesManualStepLoop(t *testing.T) {
+	m := destModel(t, 4, 4)
+	s, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	powers := make([][]float64, 6)
+	for i := range powers {
+		powers[i] = randPower(r, m.NumCores())
+	}
+	traj := s.Transient(m.InitialTemps(), powers)
+	if len(traj) != len(powers)+1 {
+		t.Fatalf("trajectory has %d rows, want %d", len(traj), len(powers)+1)
+	}
+	cur := m.InitialTemps()
+	for i := range cur {
+		if traj[0][i] != cur[i] {
+			t.Fatal("trajectory row 0 is not the initial state")
+		}
+	}
+	for e, p := range powers {
+		cur = s.Step(cur, p)
+		for i := range cur {
+			if traj[e+1][i] != cur[i] {
+				t.Fatalf("trajectory row %d differs from Step loop at node %d", e+1, i)
+			}
+		}
+	}
+}
+
+// Transient must not alias its rows: mutating one row leaves the rest intact.
+func TestTransientRowsIndependent(t *testing.T) {
+	m := destModel(t, 4, 4)
+	s, err := m.NewStepper(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := randPower(rand.New(rand.NewSource(1)), m.NumCores())
+	traj := s.Transient(m.InitialTemps(), [][]float64{p, p})
+	traj[1][0] = -1000
+	if traj[0][0] == -1000 || traj[2][0] == -1000 {
+		t.Fatal("Transient rows share storage")
+	}
+}
+
+func TestStepToZeroAllocs(t *testing.T) {
+	m := destModel(t, 8, 8)
+	s, err := m.NewStepper(0.1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := m.InitialTemps()
+	p := randPower(rand.New(rand.NewSource(5)), m.NumCores())
+	if a := testing.AllocsPerRun(100, func() { s.StepTo(temps, temps, p) }); a != 0 {
+		t.Errorf("StepTo allocates %v per run, want 0", a)
+	}
+	dst := make([]float64, m.NumNodes())
+	if a := testing.AllocsPerRun(100, func() { s.SteadyStateInto(dst, p) }); a != 0 {
+		t.Errorf("SteadyStateInto allocates %v per run, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { m.ExtendPowerInto(dst, p) }); a != 0 {
+		t.Errorf("ExtendPowerInto allocates %v per run, want 0", a)
+	}
+}
+
+// --- hot-loop step baseline (make bench → BENCH_hotloop.json) ---------------
+
+func benchStepper(b *testing.B) (*Stepper, []float64, []float64) {
+	b.Helper()
+	m := destModel(b, 8, 8)
+	s, err := m.NewStepper(0.1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, m.InitialTemps(), randPower(rand.New(rand.NewSource(5)), m.NumCores())
+}
+
+func BenchmarkHotloopStepAlloc(b *testing.B) {
+	s, temps, p := benchStepper(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		temps = s.Step(temps, p)
+	}
+}
+
+func BenchmarkHotloopStepTo(b *testing.B) {
+	s, temps, p := benchStepper(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.StepTo(temps, temps, p)
+	}
+}

@@ -219,12 +219,24 @@ func (m *Model) AmbientSteady() []float64 { return m.steadyAmbient }
 // ExtendPower lifts a per-core power vector (length n) to a per-node vector
 // (length N) with zeros on spreader and sink nodes.
 func (m *Model) ExtendPower(coreWatts []float64) []float64 {
+	p := make([]float64, m.N)
+	m.ExtendPowerInto(p, coreWatts)
+	return p
+}
+
+// ExtendPowerInto is the destination-passing form of ExtendPower: dst (length
+// N) receives coreWatts on the core nodes and zeros elsewhere. No allocation.
+func (m *Model) ExtendPowerInto(dst, coreWatts []float64) {
 	if len(coreWatts) != m.n {
 		panic(fmt.Sprintf("thermal: power vector length %d, want %d cores", len(coreWatts), m.n))
 	}
-	p := make([]float64, m.N)
-	copy(p, coreWatts)
-	return p
+	if len(dst) != m.N {
+		panic(fmt.Sprintf("thermal: extended power destination length %d, want %d nodes", len(dst), m.N))
+	}
+	copy(dst, coreWatts)
+	for i := m.n; i < m.N; i++ {
+		dst[i] = 0
+	}
 }
 
 // SteadyState solves Eq. 3: T_steady = B⁻¹P + B⁻¹·T_amb·G for a per-core

@@ -14,10 +14,21 @@ import (
 // e^{C·dt} is computed once from the model's eigendecomposition, so each step
 // costs one matrix–vector product (O(N²)). The solution is exact for power
 // held constant over the step — the interval-simulation contract.
+//
+// A Stepper owns a scratch block that StepTo and SteadyStateInto reuse, so
+// the per-step hot path allocates nothing. The scratch makes a Stepper NOT
+// goroutine-safe: build one per worker (they are cheap next to the model's
+// eigendecomposition), per the run-state rule of docs/CONCURRENCY.md. The
+// underlying Model remains freely shareable.
 type Stepper struct {
 	m   *Model
 	dt  float64
 	exp *matrix.Dense // e^{C·dt}
+
+	// Scratch reused by StepTo/SteadyStateInto (never escapes a call).
+	p    []float64 // extended power vector, length N
+	tss  []float64 // steady state for the step's power, length N
+	diff []float64 // T − T_steady, length N
 }
 
 // NewStepper precomputes the propagator for step size dt (seconds).
@@ -27,7 +38,12 @@ func (m *Model) NewStepper(dt float64) (*Stepper, error) {
 	}
 	negLambda := matrix.VecScale(-1, m.eig.Lambda) // eigenvalues of C
 	exp := matrix.ExpmEigen(m.eig.V, negLambda, m.eig.VInv, dt)
-	return &Stepper{m: m, dt: dt, exp: exp}, nil
+	return &Stepper{
+		m: m, dt: dt, exp: exp,
+		p:    make([]float64, m.N),
+		tss:  make([]float64, m.N),
+		diff: make([]float64, m.N),
+	}, nil
 }
 
 // Dt returns the step size in seconds.
@@ -37,14 +53,35 @@ func (s *Stepper) Dt() float64 { return s.dt }
 // vector coreWatts (held constant for the step) and returns the new node
 // temperatures.
 func (s *Stepper) Step(t []float64, coreWatts []float64) []float64 {
+	next := make([]float64, s.m.N)
+	s.StepTo(next, t, coreWatts)
+	return next
+}
+
+// StepTo advances the node temperature vector t by dt under coreWatts,
+// writing the new node temperatures into dst (length N). It allocates
+// nothing. dst may alias t — stepping a state in place is the intended hot
+// path — but must not alias the stepper's scratch or coreWatts.
+func (s *Stepper) StepTo(dst, t, coreWatts []float64) {
 	if len(t) != s.m.N {
 		panic(fmt.Sprintf("thermal: temperature vector length %d, want %d", len(t), s.m.N))
 	}
-	tss := s.m.SteadyState(coreWatts)
-	diff := matrix.VecSub(t, tss)
-	next := s.exp.MulVec(diff)
-	matrix.VecAddTo(next, tss)
-	return next
+	if len(dst) != s.m.N {
+		panic(fmt.Sprintf("thermal: step destination length %d, want %d", len(dst), s.m.N))
+	}
+	s.SteadyStateInto(s.tss, coreWatts)
+	matrix.VecSubTo(s.diff, t, s.tss)
+	s.exp.MulVecTo(dst, s.diff)
+	matrix.VecAddTo(dst, s.tss)
+}
+
+// SteadyStateInto solves Eq. 3 into dst (length N) using the stepper's
+// scratch for the extended power vector; the zero-allocation twin of
+// Model.SteadyState. Not goroutine-safe (see the Stepper doc).
+func (s *Stepper) SteadyStateInto(dst, coreWatts []float64) {
+	s.m.ExtendPowerInto(s.p, coreWatts)
+	s.m.binv.MulVecTo(dst, s.p)
+	matrix.VecAddTo(dst, s.m.steadyAmbient)
 }
 
 // Propagator returns e^{C·dt}. The caller must not modify it.
@@ -52,14 +89,17 @@ func (s *Stepper) Propagator() *matrix.Dense { return s.exp }
 
 // Transient simulates from the initial node temperatures t0 under a sequence
 // of per-core power vectors (one per step) and returns the temperature
-// trajectory including the initial point: len(powers)+1 node vectors.
+// trajectory including the initial point: len(powers)+1 node vectors. Only
+// the returned trajectory rows are allocated.
 func (s *Stepper) Transient(t0 []float64, powers [][]float64) [][]float64 {
 	out := make([][]float64, 0, len(powers)+1)
-	cur := append([]float64(nil), t0...)
-	out = append(out, append([]float64(nil), cur...))
+	out = append(out, append([]float64(nil), t0...))
+	cur := out[0]
 	for _, p := range powers {
-		cur = s.Step(cur, p)
-		out = append(out, append([]float64(nil), cur...))
+		next := make([]float64, len(cur))
+		s.StepTo(next, cur, p)
+		out = append(out, next)
+		cur = next
 	}
 	return out
 }
