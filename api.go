@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
+	"repro/internal/obs"
 	"repro/internal/rotation"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -351,6 +352,46 @@ type TraceRecorder = tracerec.Recorder
 // NewTraceRecorder creates a recorder keeping every stride-th slice; install
 // it with Simulation.SetTrace(rec.Hook()).
 func NewTraceRecorder(stride int) (*TraceRecorder, error) { return tracerec.New(stride) }
+
+// Observability types (docs/OBSERVABILITY.md).
+type (
+	// EpochEvent is one structured record per scheduler epoch: the mapping
+	// and frequencies chosen, the temperatures at the decision instant, and
+	// the decision's cost (migrations, host wall-clock).
+	EpochEvent = obs.EpochEvent
+	// EpochTracer receives one EpochEvent per scheduler epoch; install it
+	// with Simulation.SetEpochTracer before Run. It is called on the
+	// goroutine driving the simulation, never concurrently with itself.
+	EpochTracer = obs.Tracer
+	// RingTracer is the bounded EpochTracer: a concurrency-safe ring buffer
+	// that overwrites the oldest epochs once full, so tracing a long run
+	// costs fixed memory.
+	RingTracer = obs.RingTracer
+	// MetricsRegistry holds named counters, gauges and histograms and
+	// renders them as Prometheus text or a JSON-encodable snapshot.
+	MetricsRegistry = obs.Registry
+)
+
+// NewRingTracer returns a tracer retaining the last `capacity` epochs
+// (capacity ≤ 0 selects obs.DefaultTraceDepth, 4096 — about 2 s of simulated
+// time at the paper's 0.5 ms epochs).
+func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// Metrics returns the process-wide metrics registry that the simulator,
+// schedulers, rotation evaluator and serving layer all register into. Serve
+// it with WriteMetrics or Registry.Snapshot.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// WriteMetrics renders every registered metric in Prometheus text exposition
+// format — what the hotpotato-server GET /metrics endpoint serves.
+func WriteMetrics(w io.Writer) error { return obs.Default().WritePrometheus(w) }
+
+// EpochHeatmapRecorder converts a run's epoch-event trace into a
+// TraceRecorder, so the heatmap/CSV exports work from an EpochTracer exactly
+// as they do from a per-slice trace hook.
+func EpochHeatmapRecorder(events []EpochEvent) (*TraceRecorder, error) {
+	return tracerec.FromEpochEvents(events)
+}
 
 // NewStackedPlatformThermal builds the 3D-stacked RC thermal model of the
 // §VII future-work exploration: `layers` core layers over a width×height

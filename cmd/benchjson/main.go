@@ -100,9 +100,16 @@ func parse(sc *bufio.Scanner, echo *os.File) (*File, error) {
 // parseBenchLine parses one result line of the standard benchmark format:
 //
 //	BenchmarkName-8   1234   56.7 ns/op   0 B/op   0 allocs/op   3.2 extra
+//
+// The shape is tolerated loosely rather than matched exactly: sub-benchmark
+// names may contain dashes (only an all-digit -N suffix counts as the
+// GOMAXPROCS tag), columns may be absent (runs without -benchmem report only
+// ns/op), and a stray token between value/unit pairs skips that token instead
+// of discarding the whole line. A line is rejected only when the iteration
+// count is missing or no value/unit pair parses at all.
 func parseBenchLine(line string) (Benchmark, bool) {
 	fields := strings.Fields(line)
-	if len(fields) < 4 || len(fields)%2 != 0 {
+	if len(fields) < 4 {
 		return Benchmark{}, false
 	}
 	b := Benchmark{
@@ -120,12 +127,22 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	b.Iterations = iter
-	for i := 2; i+1 < len(fields); i += 2 {
+	for i := 2; i+1 < len(fields); {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			i++ // not a value: stray token, resync on the next field
+			continue
 		}
-		b.Metrics[fields[i+1]] = v
+		unit := fields[i+1]
+		if _, err := strconv.ParseFloat(unit, 64); err == nil {
+			i++ // two adjacent numbers: fields[i] has no unit, drop it
+			continue
+		}
+		b.Metrics[unit] = v
+		i += 2
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
 	}
 	return b, true
 }

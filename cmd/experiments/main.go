@@ -30,7 +30,9 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
+	hotpotato "repro"
 	"repro/internal/experiments"
 )
 
@@ -78,6 +80,13 @@ func main() {
 		"max concurrent simulation cells (results are identical at any value)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	outdir := flag.String("outdir", "", "also write plot-ready CSV files into this directory")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
+		fmt.Fprintf(out, "Regenerates the paper's tables and figures. The comparisons exercise the\nregistered scheduling policies: %s.\n\n",
+			strings.Join(hotpotato.SchedulerNames(), ", "))
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	jsonOut = *asJSON
 	csvDir = *outdir

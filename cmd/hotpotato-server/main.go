@@ -18,6 +18,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,17 +33,35 @@ func main() {
 	queue := flag.Int("queue", 0, "async job queue depth (0 = 64)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before in-flight runs are cancelled")
 	retention := flag.Duration("job-retention", 0, "how long finished async jobs stay queryable (0 = 10m, negative = keep forever)")
+	traceDepth := flag.Int("trace-depth", 0, "scheduler epochs retained per async job for /v1/jobs/{id}/trace (0 = 4096, negative = disable)")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	readHeader := flag.Duration("read-header-timeout", 5*time.Second, "limit on reading request headers (slowloris guard)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "limit on reading a full request including the body")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, JobRetention: *retention})
+	svc := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue,
+		JobRetention: *retention, TraceDepth: *traceDepth,
+	})
+	handler := svc.Handler()
+	if *enablePprof {
+		// Behind a flag: the profiling endpoints expose internals and cost
+		// CPU, so an operator opts in per deployment.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	// No WriteTimeout: synchronous /v1/run responses legitimately take as
 	// long as the simulation they carry.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeader,
 		ReadTimeout:       *readTimeout,
 		IdleTimeout:       *idle,

@@ -33,6 +33,7 @@ func main() {
 	tau := flag.Float64("tau", 0.5e-3, "HotPotato initial rotation interval, seconds")
 	verbose := flag.Bool("v", false, "print per-task statistics")
 	heatmap := flag.Bool("heatmap", false, "print an ASCII heatmap of the hottest moment")
+	traceOut := flag.String("trace", "", "write one JSON line per scheduler epoch to this file")
 	flag.Parse()
 
 	plat, err := hotpotato.NewPlatform(*grid, *grid)
@@ -113,9 +114,29 @@ func main() {
 		}
 		simulation.SetTrace(rec.Hook())
 	}
+	var tracer *hotpotato.RingTracer
+	if *traceOut != "" {
+		// Unbounded for practical purposes: at the paper's 0.5 ms epochs this
+		// holds over an hour of simulated time, so the dump is complete.
+		tracer = hotpotato.NewRingTracer(1 << 23)
+		simulation.SetEpochTracer(tracer)
+	}
 	res, err := simulation.Run()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tracer != nil {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		if ferr := tracer.WriteJSONL(f); ferr != nil {
+			log.Fatal(ferr)
+		}
+		if ferr := f.Close(); ferr != nil {
+			log.Fatal(ferr)
+		}
+		fmt.Printf("epoch trace:   %d events -> %s (%d dropped)\n", tracer.Len(), *traceOut, tracer.Dropped())
 	}
 
 	fmt.Printf("scheduler:     %s\n", res.Scheduler)

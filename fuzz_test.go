@@ -1,0 +1,68 @@
+package hotpotato
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRunSpec throws arbitrary bytes at the RunSpec wire path — the
+// exact code POST /v1/run runs on untrusted request bodies. Two properties:
+//
+//  1. Decode-over-defaults plus WithDefaults plus Validate never panics,
+//     whatever the input.
+//  2. Any document that decodes and validates round-trips: Marshal → Decode →
+//     WithDefaults → Marshal reproduces the same bytes, and the round-tripped
+//     spec still validates. (Byte comparison rather than DeepEqual: an empty
+//     "pins": {} decodes to a non-nil map that omitempty then drops, which is
+//     wire-equivalent but not DeepEqual.)
+//
+// The committed seed corpus under testdata/fuzz/FuzzDecodeRunSpec/ carries
+// the documented example specs from docs/SERVICE.md.
+func FuzzDecodeRunSpec(f *testing.F) {
+	seeds := []string{
+		// The docs/SERVICE.md minimal document.
+		`{"platform": {"width": 4, "height": 4}, "scheduler": {"name": "hotpotato"}, "workload": {"kind": "homogeneous", "bench": "blackscholes", "total_threads": 4}}`,
+		// Every workload kind.
+		`{"scheduler": {"name": "pcmig"}, "workload": {"kind": "random", "count": 5, "rate": 100, "seed": 7}}`,
+		`{"scheduler": {"name": "static", "pins": {"0:0": 0}}, "workload": {"kind": "explicit", "tasks": [{"bench": "swaptions", "threads": 1}]}}`,
+		// Explicit sim section with booleans.
+		`{"sim": {"dtm_enabled": false, "max_time": 1}, "scheduler": {"name": "rotation"}, "workload": {"kind": "homogeneous", "bench": "x264"}}`,
+		// Degenerate inputs.
+		`{}`, `null`, `[]`, `{"platform": {"width": -1}}`,
+		`{"workload": {"kind": "unknown"}}`, `{"sim": {"time_slice": 1e309}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec RunSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return // undecodable input is a fine outcome, panicking is not
+		}
+		spec = spec.WithDefaults()
+		if spec.Validate() != nil {
+			return
+		}
+
+		first, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		var back RunSpec
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("marshaled spec does not decode: %v\n%s", err, first)
+		}
+		back = back.WithDefaults()
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("round-tripped spec does not marshal: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("round trip changed the document:\nfirst:  %s\nsecond: %s", first, second)
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("round-tripped spec no longer validates: %v\n%s", err, first)
+		}
+	})
+}

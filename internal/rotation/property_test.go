@@ -1,0 +1,93 @@
+package rotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickAnalyticMatchesBruteForceOnGrids is the differential sweep pinning
+// Algorithm 1 to ground truth: on random 3×3 and 4×4 platforms with random
+// rings, epoch lengths and power histories, the analytic peak (both the
+// general Evaluate path and the allocation-free ring fast path) must agree
+// with an explicit transient simulation run to convergence. The fastConfig
+// capacitance compression keeps each brute-force case to a few hundred steps
+// without moving any steady state.
+func TestQuickAnalyticMatchesBruteForceOnGrids(t *testing.T) {
+	type grid struct {
+		w, h int
+		c    *Calculator
+		ev   *RingEvaluator
+	}
+	var grids []grid
+	for _, wh := range [][2]int{{3, 3}, {4, 4}} {
+		c := newCalc(t, wh[0], wh[1], fastConfig())
+		grids = append(grids, grid{wh[0], wh[1], c, c.NewRingEvaluator()})
+	}
+
+	maxCount := 100
+	if testing.Short() {
+		maxCount = 25
+	}
+	cases := 0
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := grids[cases%len(grids)] // alternate grids deterministically
+		cases++
+		n := g.w * g.h
+
+		// Random ring of 2–6 distinct cores, random background, random
+		// per-slot power history with a deliberately hot slot so the peak is
+		// ring-dominated in some cases and background-dominated in others.
+		size := 2 + r.Intn(5)
+		ring := r.Perm(n)[:size]
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = r.Float64() * 1.5
+		}
+		slotWatts := make([]float64, size)
+		for i := range slotWatts {
+			slotWatts[i] = r.Float64() * 6
+		}
+		slotWatts[r.Intn(size)] += 4
+		tau := (0.4 + r.Float64()) * 1e-3
+
+		plan := buildEquivalentPlan(tau, base, ring, slotWatts)
+		analytic, err := g.c.PeakTemperature(plan)
+		if err != nil {
+			t.Logf("seed %d: Evaluate failed: %v", seed, err)
+			return false
+		}
+		fast, err := g.ev.PeakRingRotation(tau, base, ring, slotWatts)
+		if err != nil {
+			t.Logf("seed %d: fast path failed: %v", seed, err)
+			return false
+		}
+		if math.Abs(analytic-fast) > 1e-6 {
+			t.Logf("seed %d: general %.6f vs ring fast path %.6f", seed, analytic, fast)
+			return false
+		}
+
+		// Simulate ≥ 200 ms (compressed time constants) so even the slow sink
+		// mode converges regardless of the random period length.
+		periods := int(0.2/(tau*float64(size))) + 1
+		brute, err := g.c.BruteForcePeak(plan, periods, 3)
+		if err != nil {
+			t.Logf("seed %d: brute force failed: %v", seed, err)
+			return false
+		}
+		if math.Abs(analytic-brute) > 0.1 {
+			t.Logf("seed %d (%dx%d ring %v τ=%g): analytic %.4f vs brute %.4f",
+				seed, g.w, g.h, ring, tau, analytic, brute)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Error(err)
+	}
+	if cases < maxCount {
+		t.Errorf("ran %d cases, want %d", cases, maxCount)
+	}
+}

@@ -91,6 +91,7 @@ func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores 
 			return 0, fmt.Errorf("rotation: ring core %d out of range", cr)
 		}
 	}
+	metricEvals.Inc()
 
 	decay := e.decay
 	for k, l := range c.lambda {

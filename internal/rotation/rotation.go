@@ -139,6 +139,7 @@ func (c *Calculator) Evaluate(plan Plan) (*Result, error) {
 	if err := plan.Validate(c.n); err != nil {
 		return nil, err
 	}
+	metricEvals.Inc()
 	delta := plan.Delta()
 	N := c.nNodes
 	tau := plan.Tau

@@ -189,6 +189,11 @@ func (h *HotPotato) Decide(st *sim.State) sim.Decision {
 		assignment[id] = cores[idx]
 	}
 
+	if h.rotate {
+		metricTau.Set(h.tau)
+	} else {
+		metricTau.Set(0)
+	}
 	next := h.tau
 	if !h.rotate {
 		next = 2e-3

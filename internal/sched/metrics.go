@@ -1,0 +1,10 @@
+package sched
+
+import "repro/internal/obs"
+
+// metricTau tracks the HotPotato rotation epoch length τ chosen by the most
+// recent Decide call — 0 while rotation is off. Algorithm 2 halves τ under
+// thermal pressure and relaxes it back, so this gauge is the live view of how
+// hard the policy is working.
+var metricTau = obs.NewGauge("sched_hotpotato_tau_seconds",
+	"Rotation epoch length τ selected by the last HotPotato decision (0 = not rotating).")

@@ -57,12 +57,14 @@ func (c *PlatformCache) Get(cfg hotpotato.PlatformConfig) (*hotpotato.Platform, 
 		c.entries[cfg] = e
 		c.mu.Unlock()
 		c.misses.Add(1)
+		metricCacheMisses.Inc()
 		e.plat, e.err = hotpotato.NewPlatformFromConfig(cfg)
 		close(e.ready)
 		return e.plat, e.err
 	}
 	c.mu.Unlock()
 	c.hits.Add(1)
+	metricCacheHits.Inc()
 	<-e.ready
 	return e.plat, e.err
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	hotpotato "repro"
+	"repro/internal/obs"
 )
 
 // JobStatus is the lifecycle state of an async submission.
@@ -39,6 +40,10 @@ type jobState struct {
 	mu   sync.Mutex
 	job  Job
 	spec hotpotato.RunSpec
+	// tracer collects one obs.EpochEvent per scheduler epoch of the run for
+	// GET /v1/jobs/{id}/trace; nil when the server disables tracing. It is
+	// internally synchronized — the trace endpoint reads it mid-run.
+	tracer *obs.RingTracer
 	// doneAt is when the job reached a terminal status; the janitor evicts
 	// the record once it has been terminal for the configured retention.
 	doneAt time.Time

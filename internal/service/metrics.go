@@ -1,0 +1,31 @@
+package service
+
+import "repro/internal/obs"
+
+// Pre-registered serving metrics. Package-level and process-wide: tests (and
+// any embedder) construct many Servers, so per-instance registration would
+// panic on duplicate names — instances sum into one set of series instead.
+var (
+	metricRunRequests = obs.NewCounter("service_run_requests_total",
+		"Synchronous POST /v1/run requests accepted for execution.")
+	metricJobsSubmitted = obs.NewCounter("service_jobs_submitted_total",
+		"Asynchronous jobs accepted via POST /v1/jobs.")
+	metricJobsRejected = obs.NewCounter("service_jobs_rejected_total",
+		"Job submissions answered 429 because the queue was full.")
+	metricJobsFinished = obs.NewCounter("service_jobs_finished_total",
+		"Asynchronous jobs that reached a terminal status (done, failed, canceled).")
+	metricBadRequests = obs.NewCounter("service_bad_requests_total",
+		"Request bodies rejected with 400 (undecodable or invalid RunSpec).")
+	metricQueueDepth = obs.NewGauge("service_job_queue_depth",
+		"Asynchronous jobs currently waiting in the queue.")
+	metricRunLatency = obs.NewHistogram("service_run_seconds",
+		"POST /v1/run wall-clock from accepted spec to response, seconds.",
+		obs.DefLatencyBuckets)
+	metricJobLatency = obs.NewHistogram("service_job_seconds",
+		"Asynchronous job execution wall-clock (running to terminal), seconds.",
+		obs.DefLatencyBuckets)
+	metricCacheHits = obs.NewCounter("service_platform_cache_hits_total",
+		"Platform cache lookups served from an existing entry.")
+	metricCacheMisses = obs.NewCounter("service_platform_cache_misses_total",
+		"Platform cache lookups that built (eigendecomposed) a new platform.")
+)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	hotpotato "repro"
+	"repro/internal/obs"
 )
 
 // Config sizes the server.
@@ -29,6 +31,10 @@ type Config struct {
 	// bound. 0 means 10 minutes; negative disables eviction (jobs are kept
 	// forever, the pre-retention behaviour).
 	JobRetention time.Duration
+	// TraceDepth is how many scheduler epochs each async job's ring tracer
+	// retains for GET /v1/jobs/{id}/trace. 0 means obs.DefaultTraceDepth;
+	// negative disables per-job tracing (the endpoint answers 404).
+	TraceDepth int
 }
 
 // DefaultJobRetention is how long terminal jobs stay queryable when
@@ -128,11 +134,15 @@ func (s *Server) Cache() *PlatformCache { return s.cache }
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
+	obs.Default().PublishExpvar("hotpotato")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	return mux
 }
 
@@ -158,8 +168,18 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *jobState) {
+	metricQueueDepth.Set(float64(len(s.queue)))
 	j.setStatus(JobRunning)
-	res, err := s.execute(s.baseCtx, j.spec)
+	began := time.Now()
+	// A typed-nil *RingTracer must become a nil interface, or the simulator
+	// would see a non-nil tracer and call through the nil pointer.
+	var tracer hotpotato.EpochTracer
+	if j.tracer != nil {
+		tracer = j.tracer
+	}
+	res, err := s.execute(s.baseCtx, j.spec, tracer)
+	metricJobLatency.Observe(time.Since(began).Seconds())
+	metricJobsFinished.Inc()
 	switch {
 	case err == nil:
 		j.finish(JobDone, res, nil)
@@ -173,7 +193,7 @@ func (s *Server) runJob(j *jobState) {
 // execute runs one validated spec under the concurrency bound. The semaphore
 // wait respects ctx, so a client that disconnects while queued never
 // occupies a slot at all.
-func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec) (*hotpotato.Result, error) {
+func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec, tracer hotpotato.EpochTracer) (*hotpotato.Result, error) {
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -186,7 +206,7 @@ func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec) (*hotpotat
 	if err != nil {
 		return nil, err
 	}
-	return hotpotato.ExecuteSpecOnPlatform(ctx, plat, spec)
+	return hotpotato.ExecuteSpecOnPlatformTraced(ctx, plat, spec, tracer)
 }
 
 // decodeSpec reads, defaults and validates the request body; on failure it
@@ -195,11 +215,13 @@ func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec) (*hotpotat
 func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.RunSpec, bool) {
 	var spec hotpotato.RunSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		metricBadRequests.Inc()
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding RunSpec: %w", err))
 		return spec, false
 	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
+		metricBadRequests.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return spec, false
 	}
@@ -233,7 +255,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.runs.Add(1)
 	defer s.runs.Done()
 
-	res, err := s.execute(ctx, spec)
+	metricRunRequests.Inc()
+	began := time.Now()
+	res, err := s.execute(ctx, spec, nil)
+	metricRunLatency.Observe(time.Since(began).Seconds())
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusOK, runResponse{Result: res})
@@ -258,14 +283,57 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.jobs.create(spec)
+	if s.cfg.TraceDepth >= 0 {
+		j.tracer = obs.NewRingTracer(s.cfg.TraceDepth)
+	}
 	select {
 	case s.queue <- j:
+		metricJobsSubmitted.Inc()
+		metricQueueDepth.Set(float64(len(s.queue)))
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	default:
 		s.jobs.remove(j.job.ID)
+		metricJobsRejected.Inc()
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("job queue full (%d pending)", s.cfg.QueueDepth))
 	}
+}
+
+// jobTrace is the envelope of GET /v1/jobs/{id}/trace.
+type jobTrace struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Total is how many epochs the run has recorded so far; Dropped is how
+	// many of those the bounded ring has already overwritten.
+	Total   int64            `json:"total"`
+	Dropped int64            `json:"dropped"`
+	Events  []obs.EpochEvent `json:"events"`
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if j.tracer == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %q has no trace (server runs with tracing disabled)", r.PathValue("id")))
+		return
+	}
+	snap := j.snapshot()
+	writeJSON(w, http.StatusOK, jobTrace{
+		ID:      snap.ID,
+		Status:  snap.Status,
+		Total:   j.tracer.Total(),
+		Dropped: j.tracer.Dropped(),
+		Events:  j.tracer.Events(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/power"
 	"repro/internal/workload"
@@ -242,11 +243,12 @@ type TraceFunc func(t float64, coreTemps, coreWatts, coreFreq []float64)
 
 // Simulator runs one workload under one scheduler on one platform.
 type Simulator struct {
-	plat  *Platform
-	cfg   Config
-	sched Scheduler
-	tasks []*workload.Task
-	trace TraceFunc
+	plat        *Platform
+	cfg         Config
+	sched       Scheduler
+	tasks       []*workload.Task
+	trace       TraceFunc
+	epochTracer obs.Tracer
 }
 
 // New prepares a simulation. Tasks may arrive at any time ≥ 0; they are
@@ -273,6 +275,12 @@ func New(plat *Platform, cfg Config, sched Scheduler, tasks []*workload.Task) (*
 
 // SetTrace installs a per-slice observer. Must be called before Run.
 func (s *Simulator) SetTrace(fn TraceFunc) { s.trace = fn }
+
+// SetEpochTracer installs a per-epoch structured-event observer (one
+// obs.EpochEvent per scheduler invocation). Must be called before Run. A nil
+// tracer keeps the hot loop untouched: the only cost is a nil-check on the
+// epoch cadence, never on the slice path.
+func (s *Simulator) SetEpochTracer(t obs.Tracer) { s.epochTracer = t }
 
 // threadRt is the runtime state of one thread.
 type threadRt struct {
@@ -308,6 +316,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 
+	metricRuns.Inc()
 	res := &Result{Scheduler: s.sched.Name(), PeakTemp: math.Inf(-1)}
 	temps := s.plat.Thermal.InitialTemps()
 	freqs := make([]float64, n)
@@ -376,10 +385,16 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			st := s.buildState(now, coreTemps, live, dtmActive, medianCore)
 			begin := time.Now()
 			dec := s.sched.Decide(st)
-			res.SchedulerHostTime += time.Since(begin)
+			wall := time.Since(begin)
+			res.SchedulerHostTime += wall
 			res.SchedulerInvocations++
+			metricEpochs.Inc()
+			migBefore := res.Migrations
 			if err := s.apply(dec, live, freqs, res); err != nil {
 				return nil, err
+			}
+			if s.epochTracer != nil {
+				s.recordEpoch(dec, res, now, temps, freqs, corePower, res.Migrations-migBefore, wall)
 			}
 			interval := dec.NextInvoke
 			if interval <= 0 {
@@ -401,6 +416,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 					if !dtmCore[c] && temps[c] > s.cfg.TDTM {
 						dtmCore[c] = true
 						res.DTMEvents++
+						metricDTMEvents.Inc()
 					} else if dtmCore[c] && temps[c] < s.cfg.TDTM-s.cfg.DTMHysteresis {
 						dtmCore[c] = false
 					}
@@ -410,6 +426,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			} else if !dtmActive && maxT > s.cfg.TDTM {
 				dtmActive = true
 				res.DTMEvents++
+				metricDTMEvents.Inc()
 			} else if dtmActive && maxT < s.cfg.TDTM-s.cfg.DTMHysteresis {
 				dtmActive = false
 			}
@@ -448,6 +465,7 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 
 		stepper.StepTo(temps, temps, corePower)
 		now += dt
+		metricSlices.Inc()
 
 		if mc := s.plat.Thermal.MaxCoreTemp(temps); mc > res.PeakTemp {
 			res.PeakTemp = mc
@@ -537,6 +555,30 @@ func (s *Simulator) executeSlice(th *threadRt, f, dt, now, contention float64) (
 	return avg, instructions
 }
 
+// recordEpoch builds and delivers one obs.EpochEvent. Called only when a
+// tracer is installed, on the epoch cadence — the copies and the map
+// allocation here never touch the per-slice hot path.
+func (s *Simulator) recordEpoch(dec Decision, res *Result, now float64, temps, freqs, corePower []float64, migrations int, wall time.Duration) {
+	n := s.plat.NumCores()
+	peak := s.plat.Thermal.MaxCoreTemp(temps)
+	mapping := make(map[string]int, len(dec.Assignment))
+	for id, core := range dec.Assignment {
+		mapping[id.String()] = core
+	}
+	s.epochTracer.RecordEpoch(obs.EpochEvent{
+		Epoch:        res.SchedulerInvocations - 1,
+		Time:         now,
+		Mapping:      mapping,
+		Freqs:        append([]float64(nil), freqs...),
+		CoreTemps:    append([]float64(nil), temps[:n]...),
+		CorePower:    append([]float64(nil), corePower...),
+		PeakTemp:     peak,
+		AmbientDelta: peak - s.plat.Thermal.Ambient(),
+		Migrations:   migrations,
+		WallNS:       wall.Nanoseconds(),
+	})
+}
+
 // buildState snapshots the system for the scheduler.
 func (s *Simulator) buildState(now float64, coreTemps []float64, live []*threadRt, dtm bool, medianCore int) *State {
 	fmax := s.plat.Power.DVFS().FMax
@@ -599,6 +641,7 @@ func (s *Simulator) apply(dec Decision, live []*threadRt, freqs []float64, res *
 		case th.core >= 0 && th.core != core:
 			th.penalty += s.plat.Caches.MigrationPenalty(th.core, core)
 			res.Migrations++
+			metricMigrations.Inc()
 			th.core = core
 		default:
 			th.core = core
@@ -623,6 +666,9 @@ func (s *Simulator) apply(dec Decision, live []*threadRt, freqs []float64, res *
 
 // finalize computes the aggregate metrics.
 func (s *Simulator) finalize(res *Result, now float64) {
+	if !math.IsInf(res.PeakTemp, 0) && !math.IsNaN(res.PeakTemp) {
+		metricPeakTemp.Set(res.PeakTemp)
+	}
 	res.SimulatedTime = now
 	var sum, waitSum float64
 	finished := 0

@@ -1,0 +1,21 @@
+package sim
+
+import "repro/internal/obs"
+
+// Pre-registered metric handles (docs/OBSERVABILITY.md). Package-level
+// concrete pointers keep the slice loop free of registry lookups and
+// interface calls; every operation below is a single atomic instruction.
+var (
+	metricRuns = obs.NewCounter("sim_runs_total",
+		"Simulation runs started (Run/RunContext entries).")
+	metricEpochs = obs.NewCounter("sim_epochs_total",
+		"Scheduler epochs simulated (Decide invocations) across all runs.")
+	metricSlices = obs.NewCounter("sim_slices_total",
+		"Time slices stepped through the thermal model across all runs.")
+	metricMigrations = obs.NewCounter("sim_migrations_total",
+		"Thread migrations performed by scheduler decisions across all runs.")
+	metricDTMEvents = obs.NewCounter("sim_dtm_events_total",
+		"Hardware DTM throttle engagements across all runs.")
+	metricPeakTemp = obs.NewGauge("sim_peak_temp_celsius",
+		"Peak core temperature of the most recently finalized run, °C.")
+)

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/workload"
+)
+
+func TestEpochTracerRecordsOneEventPerEpoch(t *testing.T) {
+	plat := testPlatform(t, 2, 2)
+	cfg := DefaultConfig()
+	task := smallTask(t, "blackscholes", 2, 0, 0.02)
+	s, err := New(plat, cfg, &greedy{}, []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewRingTracer(1 << 16)
+	s.SetEpochTracer(tr)
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != int64(res.SchedulerInvocations) {
+		t.Fatalf("recorded %d events for %d scheduler invocations", tr.Total(), res.SchedulerInvocations)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("dropped %d events with an oversized ring", tr.Dropped())
+	}
+	events := tr.Events()
+	ambient := plat.Thermal.Ambient()
+	n := plat.NumCores()
+	var migrations int
+	for i, ev := range events {
+		if ev.Epoch != i {
+			t.Fatalf("event %d has epoch %d", i, ev.Epoch)
+		}
+		if i > 0 && ev.Time <= events[i-1].Time {
+			t.Errorf("event %d time %g not after %g", i, ev.Time, events[i-1].Time)
+		}
+		if len(ev.Freqs) != n || len(ev.CoreTemps) != n || len(ev.CorePower) != n {
+			t.Fatalf("event %d vectors sized %d/%d/%d, want %d",
+				i, len(ev.Freqs), len(ev.CoreTemps), len(ev.CorePower), n)
+		}
+		peak := math.Inf(-1)
+		for _, temp := range ev.CoreTemps {
+			peak = math.Max(peak, temp)
+		}
+		if ev.PeakTemp < peak {
+			t.Errorf("event %d peak %g below hottest core %g", i, ev.PeakTemp, peak)
+		}
+		if got := ev.PeakTemp - ambient; math.Abs(got-ev.AmbientDelta) > 1e-9 {
+			t.Errorf("event %d ambient delta %g, want %g", i, ev.AmbientDelta, got)
+		}
+		for key, core := range ev.Mapping {
+			var id ThreadID
+			if err := id.UnmarshalText([]byte(key)); err != nil {
+				t.Fatalf("event %d mapping key %q: %v", i, key, err)
+			}
+			if core < 0 || core >= n {
+				t.Fatalf("event %d maps %q to invalid core %d", i, key, core)
+			}
+		}
+		if ev.WallNS < 0 {
+			t.Errorf("event %d negative wall clock %d", i, ev.WallNS)
+		}
+		migrations += ev.Migrations
+	}
+	if migrations != res.Migrations {
+		t.Errorf("events sum to %d migrations, result has %d", migrations, res.Migrations)
+	}
+	// The greedy scheduler pins threads on first assignment: epoch 0 maps both
+	// threads, later epochs keep them mapped.
+	if len(events) == 0 || len(events[0].Mapping) != 2 {
+		t.Fatalf("epoch 0 mapping = %v, want 2 threads", events[0].Mapping)
+	}
+}
+
+func TestRunAdvancesObsCounters(t *testing.T) {
+	plat := testPlatform(t, 2, 2)
+	cfg := DefaultConfig()
+	task := smallTask(t, "swaptions", 1, 0, 0.02)
+	s, err := New(plat, cfg, &greedy{}, []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs0 := metricRuns.Value()
+	epochs0 := metricEpochs.Value()
+	slices0 := metricSlices.Value()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := metricRuns.Value() - runs0; d < 1 {
+		t.Errorf("sim_runs_total advanced by %d, want ≥ 1", d)
+	}
+	if d := metricEpochs.Value() - epochs0; d < int64(res.SchedulerInvocations) {
+		t.Errorf("sim_epochs_total advanced by %d, want ≥ %d", d, res.SchedulerInvocations)
+	}
+	wantSlices := int64(math.Round(res.SimulatedTime / cfg.TimeSlice))
+	if d := metricSlices.Value() - slices0; d < wantSlices {
+		t.Errorf("sim_slices_total advanced by %d, want ≥ %d", d, wantSlices)
+	}
+	if got := metricPeakTemp.Value(); math.Abs(got-res.PeakTemp) > 1e-9 && got < res.PeakTemp {
+		// Another run may have finalized later with a different peak; the
+		// gauge must at least be a finite plausible temperature.
+		t.Errorf("sim_peak_temp_celsius = %g after run peaking at %g", got, res.PeakTemp)
+	}
+}

@@ -21,6 +21,11 @@ func (id ThreadID) MarshalText() ([]byte, error) {
 	return []byte(strconv.Itoa(id.Task) + ":" + strconv.Itoa(id.Thread)), nil
 }
 
+// String returns the "task:thread" form (same as MarshalText).
+func (id ThreadID) String() string {
+	return strconv.Itoa(id.Task) + ":" + strconv.Itoa(id.Thread)
+}
+
 // UnmarshalText parses the "task:thread" form produced by MarshalText.
 func (id *ThreadID) UnmarshalText(text []byte) error {
 	task, thread, ok := strings.Cut(string(text), ":")

@@ -1,0 +1,31 @@
+package tracerec
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// FromEpochEvents builds a Recorder over a run's epoch-event trace, one
+// sample per scheduler epoch, so the CSV exports and heatmaps work from an
+// obs.Tracer exactly as they do from the per-slice SetTrace hook. Every
+// event must carry equally-sized core vectors.
+func FromEpochEvents(events []obs.EpochEvent) (*Recorder, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("tracerec: no epoch events")
+	}
+	n := len(events[0].CoreTemps)
+	r := &Recorder{stride: 1}
+	for i, ev := range events {
+		if len(ev.CoreTemps) != n || len(ev.CorePower) != n || len(ev.Freqs) != n {
+			return nil, fmt.Errorf("tracerec: event %d has vectors sized %d/%d/%d, want %d",
+				i, len(ev.CoreTemps), len(ev.CorePower), len(ev.Freqs), n)
+		}
+		r.times = append(r.times, ev.Time)
+		r.temps = append(r.temps, append([]float64(nil), ev.CoreTemps...))
+		r.watts = append(r.watts, append([]float64(nil), ev.CorePower...))
+		r.freqs = append(r.freqs, append([]float64(nil), ev.Freqs...))
+	}
+	r.slice = len(events)
+	return r, nil
+}

@@ -369,6 +369,14 @@ func ExecuteSpec(ctx context.Context, spec RunSpec) (*Result, error) {
 // must match spec.Platform. The Platform is only read (it is immutable after
 // construction), so any number of concurrent calls may share one.
 func ExecuteSpecOnPlatform(ctx context.Context, plat *Platform, spec RunSpec) (*Result, error) {
+	return ExecuteSpecOnPlatformTraced(ctx, plat, spec, nil)
+}
+
+// ExecuteSpecOnPlatformTraced is ExecuteSpecOnPlatform with an epoch tracer
+// attached to the run: tracer receives one EpochEvent per scheduler epoch
+// (GET /v1/jobs/{id}/trace and hotpotato-sim -trace are built on it). A nil
+// tracer is the untraced fast path — identical to ExecuteSpecOnPlatform.
+func ExecuteSpecOnPlatformTraced(ctx context.Context, plat *Platform, spec RunSpec, tracer EpochTracer) (*Result, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -392,6 +400,9 @@ func ExecuteSpecOnPlatform(ctx context.Context, plat *Platform, spec RunSpec) (*
 	simulation, err := sim.New(plat, spec.Sim, scheduler, tasks)
 	if err != nil {
 		return nil, err
+	}
+	if tracer != nil {
+		simulation.SetEpochTracer(tracer)
 	}
 	return simulation.RunContext(ctx)
 }
