@@ -45,6 +45,7 @@ package hotpotato
 import (
 	"context"
 	"io"
+	"log/slog"
 
 	"repro/internal/experiments"
 	"repro/internal/floorplan"
@@ -370,6 +371,20 @@ type (
 	// MetricsRegistry holds named counters, gauges and histograms and
 	// renders them as Prometheus text or a JSON-encodable snapshot.
 	MetricsRegistry = obs.Registry
+	// Span is one live timed phase of a run; close it with End. Spans are
+	// nil-safe: every method no-ops on a nil receiver, so uninstrumented
+	// paths need no conditionals.
+	Span = obs.Span
+	// SpanRecorder is the bounded in-memory store the spans of one run
+	// record into; export with WriteJSONL or Tree.
+	SpanRecorder = obs.SpanRecorder
+	// SpanRecord is the exported plain-data view of one span.
+	SpanRecord = obs.SpanRecord
+	// SpanNode is one node of an assembled span tree.
+	SpanNode = obs.SpanNode
+	// RunProfile is the wall-clock breakdown of one served run
+	// (total/queue/build/decide/step), embedded in job responses.
+	RunProfile = obs.RunProfile
 )
 
 // NewRingTracer returns a tracer retaining the last `capacity` epochs
@@ -385,6 +400,50 @@ func Metrics() *MetricsRegistry { return obs.Default() }
 // WriteMetrics renders every registered metric in Prometheus text exposition
 // format — what the hotpotato-server GET /metrics endpoint serves.
 func WriteMetrics(w io.Writer) error { return obs.Default().WritePrometheus(w) }
+
+// NewSpanRecorder returns a span recorder retaining up to `capacity` spans
+// (capacity ≤ 0 selects obs.DefaultSpanDepth, 8192). Put its root span into a
+// context with ContextWithSpan and pass that to RunContext/ExecuteSpec: the
+// library records one child span per phase (workload_build, simulate) and per
+// scheduler epoch — never per slice, so the hot loop stays allocation-free.
+func NewSpanRecorder(capacity int) *SpanRecorder { return obs.NewSpanRecorder(capacity) }
+
+// ContextWithSpan returns a context carrying s as the current span; library
+// phases executed under that context record as children of s.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return obs.ContextWithSpan(ctx, s)
+}
+
+// SpanFromContext returns the context's current span, or nil (which every
+// Span method tolerates) when the context is uninstrumented.
+func SpanFromContext(ctx context.Context) *Span { return obs.SpanFromContext(ctx) }
+
+// StartSpan starts a child of the context's current span and returns a
+// context carrying it; on an uninstrumented context it returns (ctx, nil).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.StartSpan(ctx, name)
+}
+
+// NewLogger builds the structured logger shared by the binaries' -log-level /
+// -log-format flags: level is debug/info/warn/error, format json or text.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// NopLogger returns a logger that discards every record — the safe default
+// for library callers that have no logging destination yet.
+func NopLogger() *slog.Logger { return obs.NopLogger() }
+
+// ContextWithLogger returns a context carrying l; the simulator emits its
+// per-run debug summary through it (obs.LoggerFrom falls back to a no-op
+// logger on uninstrumented contexts).
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	return obs.ContextWithLogger(ctx, l)
+}
+
+// LoggerFromContext returns the context's logger, or a no-op logger when the
+// context is uninstrumented.
+func LoggerFromContext(ctx context.Context) *slog.Logger { return obs.LoggerFrom(ctx) }
 
 // EpochHeatmapRecorder converts a run's epoch-event trace into a
 // TraceRecorder, so the heatmap/CSV exports work from an EpochTracer exactly

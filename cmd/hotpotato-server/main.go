@@ -9,14 +9,18 @@
 //	  "workload":  {"kind": "homogeneous", "bench": "blackscholes", "total_threads": 4}
 //	}'
 //
-// See docs/SERVICE.md for the endpoints and the RunSpec schema.
+// Logging is structured (log/slog) on stderr — JSON by default, one object
+// per line with a request_id on every request-scoped record — and every run
+// is span-traced end to end (GET /v1/jobs/{id}/spans). See docs/SERVICE.md
+// for the endpoints and the RunSpec schema, docs/OBSERVABILITY.md for the
+// log schema and span semantics.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -24,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -34,15 +39,25 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before in-flight runs are cancelled")
 	retention := flag.Duration("job-retention", 0, "how long finished async jobs stay queryable (0 = 10m, negative = keep forever)")
 	traceDepth := flag.Int("trace-depth", 0, "scheduler epochs retained per async job for /v1/jobs/{id}/trace (0 = 4096, negative = disable)")
+	spanDepth := flag.Int("span-depth", 0, "spans retained per async job for /v1/jobs/{id}/spans (0 = 8192, negative = disable)")
+	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "json", "log format: json|text")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	readHeader := flag.Duration("read-header-timeout", 5*time.Second, "limit on reading request headers (slowloris guard)")
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "limit on reading a full request including the body")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
-		JobRetention: *retention, TraceDepth: *traceDepth,
+		JobRetention: *retention, TraceDepth: *traceDepth, SpanDepth: *spanDepth,
+		Logger: logger,
 	})
 	handler := svc.Handler()
 	if *enablePprof {
@@ -69,24 +84,25 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("hotpotato-server listening on %s", *addr)
+	logger.Info("hotpotato-server listening", "addr", *addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("serve failed", "error", err.Error())
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("received %v, draining for up to %s", sig, *drain)
+		logger.Info("signal received, draining", "signal", sig.String(), "budget", drain.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("http shutdown: %v", err)
+		logger.Error("http shutdown", "error", err.Error())
 	}
 	if err := svc.Shutdown(ctx); err != nil {
-		log.Printf("service drain expired, in-flight runs were cancelled: %v", err)
+		logger.Warn("service drain expired, in-flight runs were cancelled", "error", err.Error())
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

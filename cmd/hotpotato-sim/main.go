@@ -6,18 +6,28 @@
 //	hotpotato-sim -sched hotpotato -bench blackscholes -threads 64
 //	hotpotato-sim -sched pcmig -mix 20 -rate 100
 //	hotpotato-sim -sched hotpotato -grid 4 -bench canneal -threads 8 -v
+//	hotpotato-sim -sched hotpotato -bench swaptions -spans spans.jsonl
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 	"text/tabwriter"
 
 	hotpotato "repro"
 )
+
+// logger is the process logger; flags replace it before any fatal can fire.
+var logger = hotpotato.NopLogger()
+
+// fatal logs the error at error level and exits non-zero.
+func fatal(err error) {
+	logger.Error("fatal", "error", err.Error())
+	os.Exit(1)
+}
 
 func main() {
 	schedName := flag.String("sched", "hotpotato",
@@ -34,23 +44,33 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-task statistics")
 	heatmap := flag.Bool("heatmap", false, "print an ASCII heatmap of the hottest moment")
 	traceOut := flag.String("trace", "", "write one JSON line per scheduler epoch to this file")
+	spansOut := flag.String("spans", "", "write the run's span tree as JSON lines to this file")
+	logLevel := flag.String("log-level", "warn", "log level: debug|info|warn|error")
+	logFormat := flag.String("log-format", "text", "log format: json|text")
 	flag.Parse()
+
+	var err error
+	logger, err = hotpotato.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	plat, err := hotpotato.NewPlatform(*grid, *grid)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	lookup := hotpotato.BenchmarkByName
 	if *benchFile != "" {
 		f, ferr := os.Open(*benchFile)
 		if ferr != nil {
-			log.Fatal(ferr)
+			fatal(ferr)
 		}
 		custom, ferr := hotpotato.BenchmarksFromJSON(f)
 		f.Close()
 		if ferr != nil {
-			log.Fatal(ferr)
+			fatal(ferr)
 		}
 		lookup = func(name string) (hotpotato.Benchmark, error) {
 			for _, b := range custom {
@@ -82,11 +102,11 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	tasks, err := hotpotato.Instantiate(specs)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	// Scheduler construction goes through the one registry, so every policy
@@ -95,22 +115,22 @@ func main() {
 	spec := hotpotato.SchedulerSpec{Name: *schedName, TDTM: *tdtm, Tau: *tau}
 	spec, err = spec.AutoPin(plat, tasks)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	sch, err := hotpotato.NewSchedulerFromSpec(plat, spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	simulation, err := hotpotato.NewSimulation(plat, hotpotato.DefaultSimConfig(), sch, tasks)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	var rec *hotpotato.TraceRecorder
 	if *heatmap {
 		rec, err = hotpotato.NewTraceRecorder(1)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		simulation.SetTrace(rec.Hook())
 	}
@@ -121,22 +141,46 @@ func main() {
 		tracer = hotpotato.NewRingTracer(1 << 23)
 		simulation.SetEpochTracer(tracer)
 	}
-	res, err := simulation.Run()
+
+	// The run is driven through a context carrying the logger and, when
+	// -spans is set, a root span: the engine opens one child span per
+	// scheduler epoch under it.
+	ctx := hotpotato.ContextWithLogger(context.Background(), logger)
+	var spans *hotpotato.SpanRecorder
+	var rootSpan *hotpotato.Span
+	if *spansOut != "" {
+		// Same sizing rationale as the epoch trace ring: one span per epoch
+		// means 1<<23 covers over an hour of simulated time.
+		spans = hotpotato.NewSpanRecorder(1 << 23)
+		rootSpan = spans.Start("run")
+		rootSpan.SetAttr("scheduler", *schedName)
+		rootSpan.SetAttr("grid", *grid)
+		ctx = hotpotato.ContextWithSpan(ctx, rootSpan)
+	}
+	res, err := simulation.RunContext(ctx)
+	rootSpan.SetError(err)
+	rootSpan.End()
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if tracer != nil {
 		f, ferr := os.Create(*traceOut)
 		if ferr != nil {
-			log.Fatal(ferr)
+			fatal(ferr)
 		}
 		if ferr := tracer.WriteJSONL(f); ferr != nil {
-			log.Fatal(ferr)
+			fatal(ferr)
 		}
 		if ferr := f.Close(); ferr != nil {
-			log.Fatal(ferr)
+			fatal(ferr)
 		}
 		fmt.Printf("epoch trace:   %d events -> %s (%d dropped)\n", tracer.Len(), *traceOut, tracer.Dropped())
+	}
+	if spans != nil {
+		if ferr := writeSpans(spans, *spansOut); ferr != nil {
+			fatal(ferr)
+		}
+		fmt.Printf("span trace:    %d spans -> %s (%d dropped)\n", spans.Len(), *spansOut, spans.Dropped())
 	}
 
 	fmt.Printf("scheduler:     %s\n", res.Scheduler)
@@ -154,7 +198,7 @@ func main() {
 	if *heatmap {
 		out, err := rec.HottestSampleHeatmap(*grid, *grid, 45, *tdtm+5)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Println()
 		fmt.Print(out)
@@ -170,4 +214,17 @@ func main() {
 		}
 		tw.Flush()
 	}
+}
+
+// writeSpans dumps the recorder as JSON lines to path.
+func writeSpans(spans *hotpotato.SpanRecorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := spans.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

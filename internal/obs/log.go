@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// log.go is the structured-logging half of the observability layer: one
+// shared constructor for the binaries' -log-level/-log-format flags plus
+// context plumbing, so a request-scoped logger (request ID, job ID attached)
+// travels alongside the span through the same context chain.
+
+// Log formats accepted by NewLogger.
+const (
+	LogFormatJSON = "json"
+	LogFormatText = "text"
+)
+
+// ParseLogLevel maps the flag spellings (debug, info, warn, error) onto
+// slog levels.
+func ParseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (have debug, info, warn, error)", s)
+}
+
+// NewLogger builds the binaries' shared *slog.Logger: level is one of
+// debug/info/warn/error, format is json (one object per line, the service's
+// machine-readable schema — see docs/OBSERVABILITY.md) or text
+// (human-readable key=value).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLogLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case LogFormatJSON, "":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case LogFormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (have %s, %s)", format, LogFormatJSON, LogFormatText)
+}
+
+// nopLogger discards everything at a level no record reaches, so an
+// uninstrumented context logs into a black hole without nil checks. Its
+// Enabled() is false for every level, which keeps handler work (attribute
+// formatting, writes) off every path that consults it.
+var nopLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{
+	Level: slog.Level(127),
+}))
+
+// NopLogger returns a logger that discards every record. It is what
+// LoggerFrom falls back to, and what performance tests install to prove the
+// instrumented paths stay allocation-free when logging is disabled.
+func NopLogger() *slog.Logger { return nopLogger }
+
+// loggerCtxKey carries the request-scoped *slog.Logger through a context.
+type loggerCtxKey struct{}
+
+// ContextWithLogger returns a context carrying l. A nil l returns ctx
+// unchanged.
+func ContextWithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerCtxKey{}, l)
+}
+
+// LoggerFrom returns the context's logger, or NopLogger() when the context
+// is uninstrumented — callers log unconditionally and the level gate decides.
+func LoggerFrom(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerCtxKey{}).(*slog.Logger); ok {
+		return l
+	}
+	return nopLogger
+}

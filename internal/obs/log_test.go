@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLogLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"":        slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		" error ": slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLogLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogLevel(%q) = %v, %v — want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLogLevel("loud"); err == nil {
+		t.Error("ParseLogLevel accepted \"loud\"")
+	}
+}
+
+func TestNewLoggerJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("hidden")
+	l.Info("hello", "k", "v")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1 (debug filtered):\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" || rec["level"] != "INFO" {
+		t.Errorf("record = %v", rec)
+	}
+}
+
+func TestNewLoggerText(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info("hidden")
+	l.Warn("careful")
+	out := buf.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "careful") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestNewLoggerRejectsBadInputs(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewLogger(&buf, "loud", "json"); err == nil {
+		t.Error("accepted bad level")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("accepted bad format")
+	}
+}
+
+func TestNopLoggerDisabled(t *testing.T) {
+	l := NopLogger()
+	for _, lv := range []slog.Level{slog.LevelDebug, slog.LevelInfo, slog.LevelWarn, slog.LevelError} {
+		if l.Enabled(context.Background(), lv) {
+			t.Errorf("NopLogger enabled at %v", lv)
+		}
+	}
+}
+
+func TestLoggerContext(t *testing.T) {
+	ctx := context.Background()
+	if LoggerFrom(ctx) != nopLogger {
+		t.Error("uninstrumented context did not fall back to the nop logger")
+	}
+	var buf bytes.Buffer
+	l, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx = ContextWithLogger(ctx, l)
+	if LoggerFrom(ctx) != l {
+		t.Error("logger did not round-trip through context")
+	}
+	if ContextWithLogger(ctx, nil) != ctx {
+		t.Error("ContextWithLogger(nil) allocated a new context")
+	}
+}

@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// span.go is the hierarchical span tracer: dependency-free wall-clock phase
+// timing for one run (service request → queue wait → platform build →
+// ExecuteSpec → per-epoch decide/step), recorded into a bounded in-memory
+// SpanRecorder and exported as a JSON tree (GET /v1/jobs/{id}/spans) or JSON
+// Lines (hotpotato-sim -spans). The granularity contract matches the epoch
+// tracer: one span per scheduler epoch at most, never one per slice, so the
+// simulator's slice loop stays allocation-free.
+//
+// Every Span method and SpanRecorder.Start are nil-safe: a nil recorder
+// starts nil spans, and a nil *Span silently ignores StartChild / SetAttr /
+// SetError / End. Uninstrumented code paths therefore cost one nil check,
+// with no conditional plumbing at the call sites.
+
+// SpanID identifies a span within one SpanRecorder. IDs are assigned
+// sequentially from 1; 0 means "no span" (the parent of a root).
+type SpanID int64
+
+// DefaultSpanDepth is the SpanRecorder capacity when none is given. A span
+// per scheduler epoch at the paper's 0.5 ms cadence makes this ~4 s of
+// simulated time plus the handful of service-phase spans.
+const DefaultSpanDepth = 8192
+
+// Span is one live timed phase. Spans are created by SpanRecorder.Start or
+// Span.StartChild, annotated with SetAttr/SetError, and closed with End.
+// A Span is safe for concurrent use; in practice one goroutine writes it
+// while the recorder snapshots it from another (the HTTP service reads a
+// job's spans mid-run).
+type Span struct {
+	rec    *SpanRecorder
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs map[string]any
+	errs  string
+	dur   time.Duration
+	ended bool
+}
+
+// ID returns the span's recorder-scoped ID (0 for a nil span).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// StartChild starts a new span under s. Nil-safe: a nil s returns nil.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.rec.start(name, s.id)
+}
+
+// SetAttr attaches one key-value annotation. Nil-safe. Values should be
+// JSON-encodable plain data (numbers, strings, bools).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetError flags the span as failed with err's message. A nil s or nil err
+// is a no-op.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.errs = err.Error()
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Nil-safe and idempotent — the
+// first End wins, so `defer span.End()` composes with explicit early Ends.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// record snapshots the span. An un-ended span reports its running duration
+// and Done=false, so mid-run readers see live phase timings.
+func (s *Span) record() SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := SpanRecord{
+		ID:          s.id,
+		Parent:      s.parent,
+		Name:        s.name,
+		StartUnixNS: s.start.UnixNano(),
+		DurationNS:  s.dur.Nanoseconds(),
+		Done:        s.ended,
+		Error:       s.errs,
+	}
+	if !s.ended {
+		r.DurationNS = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		r.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			r.Attrs[k] = v
+		}
+	}
+	return r
+}
+
+// SpanRecord is the exported plain-data view of one span — the JSONL line
+// format of `hotpotato-sim -spans` and the node payload of the span tree.
+type SpanRecord struct {
+	ID          SpanID         `json:"id"`
+	Parent      SpanID         `json:"parent,omitempty"`
+	Name        string         `json:"name"`
+	StartUnixNS int64          `json:"start_unix_ns"`
+	DurationNS  int64          `json:"duration_ns"`
+	Done        bool           `json:"done"`
+	Attrs       map[string]any `json:"attrs,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+// Duration returns the recorded duration as a time.Duration.
+func (r SpanRecord) Duration() time.Duration { return time.Duration(r.DurationNS) }
+
+// SpanNode is one node of the span tree: a record plus its children, in
+// start order.
+type SpanNode struct {
+	SpanRecord
+	Children []*SpanNode `json:"children,omitempty"`
+}
+
+// SpanRecorder collects the spans of one run into a bounded in-memory store.
+// Recording is cheap (one mutex-guarded append per span, at most one span
+// per scheduler epoch) and never blocks on readers; once the capacity is
+// reached further spans are counted as dropped but still function as live
+// Spans — their timings simply are not retained. Safe for concurrent use.
+type SpanRecorder struct {
+	mu      sync.Mutex
+	spans   []*Span
+	nextID  SpanID
+	dropped int64
+}
+
+// NewSpanRecorder returns a recorder retaining up to `capacity` spans
+// (capacity ≤ 0 selects DefaultSpanDepth).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanDepth
+	}
+	return &SpanRecorder{spans: make([]*Span, 0, capacity)}
+}
+
+// Start begins a new root span. Nil-safe: a nil recorder returns a nil span,
+// and every operation on that span is a no-op.
+func (r *SpanRecorder) Start(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.start(name, 0)
+}
+
+func (r *SpanRecorder) start(name string, parent SpanID) *Span {
+	r.mu.Lock()
+	r.nextID++
+	s := &Span{rec: r, id: r.nextID, parent: parent, name: name, start: time.Now()}
+	if len(r.spans) < cap(r.spans) {
+		r.spans = append(r.spans, s)
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+	return s
+}
+
+// Len returns how many spans are retained.
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Total returns how many spans were ever started.
+func (r *SpanRecorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(r.nextID)
+}
+
+// Dropped returns how many spans exceeded the capacity and were not retained.
+func (r *SpanRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Records snapshots every retained span in start order. Un-ended spans
+// report their running duration with Done=false.
+func (r *SpanRecorder) Records() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	spans := append([]*Span(nil), r.spans...)
+	r.mu.Unlock()
+	out := make([]SpanRecord, len(spans))
+	for i, s := range spans {
+		out[i] = s.record()
+	}
+	return out
+}
+
+// Tree assembles the retained spans into their hierarchy, children in start
+// order. Spans whose parent was dropped by the capacity bound surface as
+// additional roots rather than disappearing.
+func (r *SpanRecorder) Tree() []*SpanNode {
+	records := r.Records()
+	nodes := make(map[SpanID]*SpanNode, len(records))
+	for _, rec := range records {
+		nodes[rec.ID] = &SpanNode{SpanRecord: rec}
+	}
+	var roots []*SpanNode
+	for _, rec := range records { // records are in start order; so are children
+		n := nodes[rec.ID]
+		if parent, ok := nodes[rec.Parent]; ok && rec.Parent != rec.ID {
+			parent.Children = append(parent.Children, n)
+			continue
+		}
+		roots = append(roots, n)
+	}
+	return roots
+}
+
+// WriteJSONL writes every retained span as one JSON line in start order —
+// the `hotpotato-sim -spans out.jsonl` dump format.
+func (r *SpanRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, rec := range r.Records() {
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanCtxKey carries the current *Span through a context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span; child
+// phases started via StartSpan (or Span.StartChild on the extracted span)
+// nest under it. A nil s returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil when the context is
+// uninstrumented. The nil result is usable: all Span methods no-op on nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan starts a child of the context's current span and returns a
+// context carrying the child. On an uninstrumented context it returns
+// (ctx, nil) — the caller unconditionally defers span.End().
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWithSpan(ctx, child), child
+}

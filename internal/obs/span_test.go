@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderBasics(t *testing.T) {
+	rec := NewSpanRecorder(16)
+	root := rec.Start("run")
+	if root.ID() != 1 {
+		t.Errorf("root ID = %d, want 1", root.ID())
+	}
+	child := root.StartChild("phase")
+	child.SetAttr("epoch", 3)
+	child.SetAttr("epoch", 4) // last write wins
+	child.End()
+	child.End() // idempotent
+	root.SetError(errors.New("boom"))
+	root.End()
+
+	records := rec.Records()
+	if len(records) != 2 {
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+	r0, r1 := records[0], records[1]
+	if r0.Name != "run" || !r0.Done || r0.Error != "boom" || r0.Parent != 0 {
+		t.Errorf("root record = %+v", r0)
+	}
+	if r1.Name != "phase" || r1.Parent != r0.ID || r1.Attrs["epoch"] != 4 {
+		t.Errorf("child record = %+v", r1)
+	}
+	if r1.Duration() < 0 || r0.Duration() < r1.Duration() {
+		t.Errorf("durations: root %v, child %v", r0.Duration(), r1.Duration())
+	}
+}
+
+func TestSpanRecordLiveSnapshot(t *testing.T) {
+	rec := NewSpanRecorder(4)
+	s := rec.Start("open")
+	time.Sleep(time.Millisecond)
+	r := rec.Records()[0]
+	if r.Done {
+		t.Error("un-ended span snapshot claims Done")
+	}
+	if r.DurationNS <= 0 {
+		t.Errorf("running duration = %d, want > 0", r.DurationNS)
+	}
+	s.End()
+	if !rec.Records()[0].Done {
+		t.Error("ended span snapshot not Done")
+	}
+}
+
+func TestSpanRecorderCapacityAndDrops(t *testing.T) {
+	rec := NewSpanRecorder(2)
+	root := rec.Start("run")
+	kept := root.StartChild("kept")
+	dropped := root.StartChild("dropped")
+	// Dropped spans still function as live spans.
+	dropped.SetAttr("k", "v")
+	grandchild := dropped.StartChild("orphan")
+	grandchild.End()
+	dropped.End()
+	kept.End()
+	root.End()
+
+	if rec.Len() != 2 {
+		t.Errorf("Len = %d, want 2", rec.Len())
+	}
+	if rec.Total() != 4 {
+		t.Errorf("Total = %d, want 4", rec.Total())
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", rec.Dropped())
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	rec := NewSpanRecorder(16)
+	root := rec.Start("run")
+	a := root.StartChild("a")
+	a.StartChild("a1").End()
+	a.End()
+	root.StartChild("b").End()
+	root.End()
+
+	roots := rec.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("got %d roots, want 1", len(roots))
+	}
+	run := roots[0]
+	if run.Name != "run" || len(run.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want run with 2", run.Name, len(run.Children))
+	}
+	if run.Children[0].Name != "a" || run.Children[1].Name != "b" {
+		t.Errorf("children = %q, %q — want start order a, b", run.Children[0].Name, run.Children[1].Name)
+	}
+	if len(run.Children[0].Children) != 1 || run.Children[0].Children[0].Name != "a1" {
+		t.Errorf("grandchildren = %+v", run.Children[0].Children)
+	}
+}
+
+// TestSpanTreeDroppedSubtree pins the capacity interaction with Tree:
+// retention is a start-order prefix, so dropped spans (and their descendants,
+// which necessarily start later) simply never appear — the retained tree
+// stays well-formed with no dangling parent references.
+func TestSpanTreeDroppedSubtree(t *testing.T) {
+	rec := NewSpanRecorder(2)
+	root := rec.Start("root")
+	root.StartChild("kept").End()
+	lost := root.StartChild("lost") // beyond capacity, not retained
+	lost.StartChild("lost-child").End()
+	lost.End()
+	root.End()
+
+	roots := rec.Tree()
+	if len(roots) != 1 || roots[0].Name != "root" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "kept" {
+		t.Errorf("children = %+v", roots[0].Children)
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", rec.Dropped())
+	}
+}
+
+func TestSpanWriteJSONL(t *testing.T) {
+	rec := NewSpanRecorder(8)
+	root := rec.Start("run")
+	root.SetAttr("grid", 8)
+	root.StartChild("epoch").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var r SpanRecord
+	if err := json.Unmarshal([]byte(lines[0]), &r); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if r.Name != "run" || r.Attrs["grid"] != float64(8) || !r.Done {
+		t.Errorf("decoded root = %+v", r)
+	}
+}
+
+// TestSpanNilSafety drives the full API through nil receivers: the documented
+// contract is that uninstrumented paths need no conditionals.
+func TestSpanNilSafety(t *testing.T) {
+	var rec *SpanRecorder
+	s := rec.Start("ignored")
+	if s != nil {
+		t.Fatal("nil recorder started a non-nil span")
+	}
+	if c := s.StartChild("x"); c != nil {
+		t.Fatal("nil span started a non-nil child")
+	}
+	s.SetAttr("k", "v")
+	s.SetError(errors.New("e"))
+	s.End()
+	if s.ID() != 0 {
+		t.Errorf("nil span ID = %d, want 0", s.ID())
+	}
+	if rec.Len() != 0 || rec.Total() != 0 || rec.Dropped() != 0 {
+		t.Error("nil recorder reports non-zero counts")
+	}
+	if rec.Records() != nil || rec.Tree() != nil {
+		t.Error("nil recorder returned non-nil snapshots")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil recorder WriteJSONL: err=%v, wrote %d bytes", err, buf.Len())
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	ctx := context.Background()
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatal("uninstrumented context yielded a span")
+	}
+	childCtx, child := StartSpan(ctx, "x")
+	if child != nil || childCtx != ctx {
+		t.Fatal("StartSpan on uninstrumented context should return (ctx, nil)")
+	}
+
+	rec := NewSpanRecorder(8)
+	root := rec.Start("run")
+	ctx = ContextWithSpan(ctx, root)
+	if SpanFromContext(ctx) != root {
+		t.Fatal("span did not round-trip through context")
+	}
+	childCtx, child = StartSpan(ctx, "phase")
+	if child == nil || SpanFromContext(childCtx) != child {
+		t.Fatal("StartSpan did not nest a child span")
+	}
+	child.End()
+	root.End()
+	if got := rec.Records()[1].Parent; got != root.ID() {
+		t.Errorf("child parent = %d, want %d", got, root.ID())
+	}
+	// ContextWithSpan(nil span) leaves the context untouched.
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Error("ContextWithSpan(nil) allocated a new context")
+	}
+}
+
+// TestSpanRecorderConcurrent hammers one recorder from many goroutines under
+// -race: concurrent starts, attribute writes, snapshots and tree assembly.
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder(256)
+	root := rec.Start("run")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := root.StartChild(fmt.Sprintf("worker-%d", g))
+				s.SetAttr("i", i)
+				s.End()
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			rec.Records()
+			rec.Tree()
+		}
+	}()
+	wg.Wait()
+	root.End()
+	if got := rec.Total(); got != 401 {
+		t.Errorf("Total = %d, want 401", got)
+	}
+	if rec.Len() != 256 {
+		t.Errorf("Len = %d, want capacity 256", rec.Len())
+	}
+	if got := rec.Dropped(); got != 401-256 {
+		t.Errorf("Dropped = %d, want %d", got, 401-256)
+	}
+}

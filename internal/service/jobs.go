@@ -22,12 +22,19 @@ const (
 
 // Job is the public view of one async submission, as returned by
 // GET /v1/jobs/{id}. Result is set once Status is done (and also for failed
-// runs that produced a partial result, e.g. timeouts).
+// runs that produced a partial result, e.g. timeouts). RequestID is the
+// correlation ID of the submitting request — the same value the submit
+// response carried in its X-Request-Id header — so a caller can join job
+// polls, access-log lines and span trees on one key. Profile is the
+// wall-clock breakdown (queue/build/decide/step) filled in when the job
+// reaches a terminal state.
 type Job struct {
-	ID     string            `json:"id"`
-	Status JobStatus         `json:"status"`
-	Result *hotpotato.Result `json:"result,omitempty"`
-	Error  string            `json:"error,omitempty"`
+	ID        string            `json:"id"`
+	Status    JobStatus         `json:"status"`
+	RequestID string            `json:"request_id,omitempty"`
+	Result    *hotpotato.Result `json:"result,omitempty"`
+	Profile   *obs.RunProfile   `json:"profile,omitempty"`
+	Error     string            `json:"error,omitempty"`
 }
 
 // Terminal reports whether s is a final state (the job will never run again).
@@ -44,6 +51,15 @@ type jobState struct {
 	// GET /v1/jobs/{id}/trace; nil when the server disables tracing. It is
 	// internally synchronized — the trace endpoint reads it mid-run.
 	tracer *obs.RingTracer
+	// spans records the job's phase timings for GET /v1/jobs/{id}/spans;
+	// nil when the server disables span tracing. rootSpan is the "run" span
+	// opened at submission and closed at the terminal transition; queueSpan
+	// covers submission → worker pickup. Both are nil-safe.
+	spans     *obs.SpanRecorder
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
+	// submittedAt anchors the job's RunProfile total and queue durations.
+	submittedAt time.Time
 	// doneAt is when the job reached a terminal status; the janitor evicts
 	// the record once it has been terminal for the configured retention.
 	doneAt time.Time
@@ -61,15 +77,22 @@ func (j *jobState) setStatus(s JobStatus) {
 	j.mu.Unlock()
 }
 
-func (j *jobState) finish(status JobStatus, res *hotpotato.Result, err error) {
+func (j *jobState) finish(status JobStatus, res *hotpotato.Result, prof *obs.RunProfile, err error) {
 	j.mu.Lock()
 	j.job.Status = status
 	j.job.Result = res
+	j.job.Profile = prof
 	if err != nil {
 		j.job.Error = err.Error()
 	}
 	j.doneAt = time.Now()
 	j.mu.Unlock()
+	j.rootSpan.SetError(err)
+	j.rootSpan.SetAttr("status", string(status))
+	j.rootSpan.End()
+	// A job canceled while still queued never reached runJob; close its
+	// queue-wait span here so the tree has no dangling open phases.
+	j.queueSpan.End()
 }
 
 // terminalSince returns when the job entered a terminal status, and whether
@@ -91,13 +114,14 @@ func newJobStore() *jobStore {
 	return &jobStore{jobs: make(map[string]*jobState)}
 }
 
-func (s *jobStore) create(spec hotpotato.RunSpec) *jobState {
+func (s *jobStore) create(spec hotpotato.RunSpec, requestID string) *jobState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
 	j := &jobState{
-		job:  Job{ID: fmt.Sprintf("job-%d", s.seq), Status: JobQueued},
-		spec: spec,
+		job:         Job{ID: fmt.Sprintf("job-%d", s.seq), Status: JobQueued, RequestID: requestID},
+		spec:        spec,
+		submittedAt: time.Now(),
 	}
 	s.jobs[j.job.ID] = j
 	return j

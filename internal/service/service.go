@@ -6,6 +6,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -35,6 +36,15 @@ type Config struct {
 	// retains for GET /v1/jobs/{id}/trace. 0 means obs.DefaultTraceDepth;
 	// negative disables per-job tracing (the endpoint answers 404).
 	TraceDepth int
+	// SpanDepth is how many spans each async job's recorder retains for
+	// GET /v1/jobs/{id}/spans (one span per service phase plus one per
+	// scheduler epoch). 0 means obs.DefaultSpanDepth; negative disables
+	// per-job span tracing (the endpoint answers 404).
+	SpanDepth int
+	// Logger receives the server's structured log stream (access lines, job
+	// lifecycle, shutdown). nil means a no-op logger — tests and embedders
+	// that do not care stay quiet.
+	Logger *slog.Logger
 }
 
 // DefaultJobRetention is how long terminal jobs stay queryable when
@@ -54,11 +64,12 @@ const DefaultJobRetention = 10 * time.Minute
 // a PlatformCache. Shutdown stops intake, drains, then force-cancels
 // stragglers through their run contexts.
 type Server struct {
-	cfg   Config
-	cache *PlatformCache
-	jobs  *jobStore
-	queue chan *jobState
-	sem   chan struct{}
+	cfg    Config
+	logger *slog.Logger
+	cache  *PlatformCache
+	jobs   *jobStore
+	queue  chan *jobState
+	sem    chan struct{}
 
 	// baseCtx parents every async run (and is grafted onto sync request
 	// contexts), so cancelRuns aborts all in-flight simulations.
@@ -82,9 +93,13 @@ func New(cfg Config) *Server {
 	if cfg.JobRetention == 0 {
 		cfg.JobRetention = DefaultJobRetention
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
+		logger:     cfg.Logger,
 		cache:      NewPlatformCache(),
 		jobs:       newJobStore(),
 		queue:      make(chan *jobState, cfg.QueueDepth),
@@ -132,7 +147,8 @@ func (s *Server) janitor() {
 // Cache exposes the platform cache (introspection and tests).
 func (s *Server) Cache() *PlatformCache { return s.cache }
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes, wrapped in the observability middleware
+// (request-ID propagation + one structured access-log line per request).
 func (s *Server) Handler() http.Handler {
 	obs.Default().PublishExpvar("hotpotato")
 	mux := http.NewServeMux()
@@ -140,10 +156,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	return s.withObservability(mux)
 }
 
 // worker is one slot of the async pool: it claims queued jobs until Shutdown,
@@ -156,7 +173,7 @@ func (s *Server) worker() {
 			for {
 				select {
 				case j := <-s.queue:
-					j.finish(JobCanceled, nil, errors.New("server shutting down"))
+					j.finish(JobCanceled, nil, nil, errors.New("server shutting down"))
 				default:
 					return
 				}
@@ -169,7 +186,12 @@ func (s *Server) worker() {
 
 func (s *Server) runJob(j *jobState) {
 	metricQueueDepth.Set(float64(len(s.queue)))
+	j.queueSpan.End()
+	queueWait := time.Since(j.submittedAt)
 	j.setStatus(JobRunning)
+	logger := s.logger.With("job_id", j.job.ID, "request_id", j.job.RequestID)
+	logger.Info("job started", "queue_wait_ms", float64(queueWait.Nanoseconds())/1e6)
+
 	began := time.Now()
 	// A typed-nil *RingTracer must become a nil interface, or the simulator
 	// would see a non-nil tracer and call through the nil pointer.
@@ -177,36 +199,91 @@ func (s *Server) runJob(j *jobState) {
 	if j.tracer != nil {
 		tracer = j.tracer
 	}
-	res, err := s.execute(s.baseCtx, j.spec, tracer)
+	ctx := obs.ContextWithSpan(s.baseCtx, j.rootSpan)
+	ctx = obs.ContextWithLogger(ctx, logger)
+	res, prof, err := s.execute(ctx, j.spec, tracer)
 	metricJobLatency.Observe(time.Since(began).Seconds())
 	metricJobsFinished.Inc()
+
+	prof.QueueNS += queueWait.Nanoseconds()
+	prof.TotalNS = time.Since(j.submittedAt).Nanoseconds()
+	status := JobDone
 	switch {
 	case err == nil:
-		j.finish(JobDone, res, nil)
 	case errors.Is(err, hotpotato.ErrCanceled):
-		j.finish(JobCanceled, res, err)
+		status = JobCanceled
 	default:
-		j.finish(JobFailed, res, err)
+		status = JobFailed
 	}
+	j.finish(status, res, prof, err)
+	logger.Info("job finished",
+		"status", string(status),
+		"duration_ms", float64(prof.TotalNS-prof.QueueNS)/1e6,
+		"epochs", prof.Epochs,
+		"error", errString(err),
+	)
+}
+
+// errString renders err for a log attribute ("" when nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // execute runs one validated spec under the concurrency bound. The semaphore
 // wait respects ctx, so a client that disconnects while queued never
-// occupies a slot at all.
-func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec, tracer hotpotato.EpochTracer) (*hotpotato.Result, error) {
+// occupies a slot at all. The returned RunProfile is always non-nil and
+// carries the phase breakdown measured so far (slot wait, platform build,
+// decide/step split); callers fold in what only they can see (job-queue
+// wait, end-to-end total). If ctx carries a span, each phase also records a
+// child span.
+func (s *Server) execute(ctx context.Context, spec hotpotato.RunSpec, tracer hotpotato.EpochTracer) (*hotpotato.Result, *obs.RunProfile, error) {
+	prof := &obs.RunProfile{}
+	root := obs.SpanFromContext(ctx)
+
+	slotSpan := root.StartChild("slot_wait")
+	slotBegan := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return nil, fmt.Errorf("%w before starting: %v", hotpotato.ErrCanceled, context.Cause(ctx))
+		err := fmt.Errorf("%w before starting: %v", hotpotato.ErrCanceled, context.Cause(ctx))
+		slotSpan.SetError(err)
+		slotSpan.End()
+		return nil, prof, err
 	}
 	defer func() { <-s.sem }()
+	slotSpan.End()
+	prof.QueueNS += time.Since(slotBegan).Nanoseconds()
 
 	spec = spec.WithDefaults()
+	buildSpan := root.StartChild("platform_build")
+	buildBegan := time.Now()
 	plat, err := s.cache.Get(spec.Platform)
+	prof.BuildNS = time.Since(buildBegan).Nanoseconds()
+	buildSpan.SetError(err)
+	buildSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, prof, err
 	}
-	return hotpotato.ExecuteSpecOnPlatformTraced(ctx, plat, spec, tracer)
+
+	execCtx, execSpan := obs.StartSpan(ctx, "execute_spec")
+	execBegan := time.Now()
+	res, err := hotpotato.ExecuteSpecOnPlatformTraced(execCtx, plat, spec, tracer)
+	execNS := time.Since(execBegan).Nanoseconds()
+	execSpan.SetError(err)
+	execSpan.End()
+	if res != nil {
+		prof.DecideNS = res.SchedulerHostTime.Nanoseconds()
+		prof.Epochs = res.SchedulerInvocations
+		if prof.StepNS = execNS - prof.DecideNS; prof.StepNS < 0 {
+			prof.StepNS = 0
+		}
+	} else {
+		prof.StepNS = execNS
+	}
+	return res, prof, err
 }
 
 // decodeSpec reads, defaults and validates the request body; on failure it
@@ -216,12 +293,14 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.R
 	var spec hotpotato.RunSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		metricBadRequests.Inc()
+		obs.LoggerFrom(r.Context()).Warn("bad request", "reason", "undecodable RunSpec", "error", err.Error())
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding RunSpec: %w", err))
 		return spec, false
 	}
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		metricBadRequests.Inc()
+		obs.LoggerFrom(r.Context()).Warn("bad request", "reason", "invalid RunSpec", "error", err.Error())
 		writeError(w, http.StatusBadRequest, err)
 		return spec, false
 	}
@@ -231,6 +310,9 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.R
 // runResponse is the envelope of POST /v1/run.
 type runResponse struct {
 	Result *hotpotato.Result `json:"result"`
+	// Profile is the wall-clock breakdown of the run (queue/build/decide/
+	// step) — the same summary async jobs carry.
+	Profile *obs.RunProfile `json:"profile,omitempty"`
 	// Error is set when the run ended early (e.g. MaxTime); the partial
 	// result is still included.
 	Error string `json:"error,omitempty"`
@@ -257,15 +339,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	metricRunRequests.Inc()
 	began := time.Now()
-	res, err := s.execute(ctx, spec, nil)
+	res, prof, err := s.execute(ctx, spec, nil)
 	metricRunLatency.Observe(time.Since(began).Seconds())
+	prof.TotalNS = time.Since(began).Nanoseconds()
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, runResponse{Result: res})
+		writeJSON(w, http.StatusOK, runResponse{Result: res, Profile: prof})
 	case errors.Is(err, hotpotato.ErrTimeout):
 		// The simulation hit its own MaxTime: a complete answer about an
 		// incomplete workload, not a transport failure.
-		writeJSON(w, http.StatusOK, runResponse{Result: res, Error: err.Error()})
+		writeJSON(w, http.StatusOK, runResponse{Result: res, Profile: prof, Error: err.Error()})
 	case errors.Is(err, hotpotato.ErrCanceled):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
@@ -282,14 +365,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	j := s.jobs.create(spec)
+	j := s.jobs.create(spec, requestIDFrom(r.Context()))
 	if s.cfg.TraceDepth >= 0 {
 		j.tracer = obs.NewRingTracer(s.cfg.TraceDepth)
+	}
+	if s.cfg.SpanDepth >= 0 {
+		j.spans = obs.NewSpanRecorder(s.cfg.SpanDepth)
+		j.rootSpan = j.spans.Start("run")
+		j.rootSpan.SetAttr("job_id", j.job.ID)
+		j.rootSpan.SetAttr("request_id", j.job.RequestID)
+		j.queueSpan = j.rootSpan.StartChild("queue_wait")
 	}
 	select {
 	case s.queue <- j:
 		metricJobsSubmitted.Inc()
 		metricQueueDepth.Set(float64(len(s.queue)))
+		obs.LoggerFrom(r.Context()).Info("job queued",
+			"job_id", j.job.ID, "queue_depth", len(s.queue))
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	default:
 		s.jobs.remove(j.job.ID)
@@ -331,6 +423,43 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// jobSpans is the envelope of GET /v1/jobs/{id}/spans.
+type jobSpans struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Total is how many spans the run has started; Dropped is how many of
+	// those exceeded the recorder capacity and were not retained.
+	Total   int64           `json:"total"`
+	Dropped int64           `json:"dropped"`
+	Spans   []*obs.SpanNode `json:"spans"`
+}
+
+func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if j.spans == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %q has no spans (server runs with span tracing disabled)", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = j.spans.WriteJSONL(w)
+		return
+	}
+	snap := j.snapshot()
+	writeJSON(w, http.StatusOK, jobSpans{
+		ID:      snap.ID,
+		Status:  snap.Status,
+		Total:   j.spans.Total(),
+		Dropped: j.spans.Dropped(),
+		Spans:   j.spans.Tree(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = obs.Default().WritePrometheus(w)
@@ -365,6 +494,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.logger.Info("shutdown: draining", "queued", len(s.queue))
 	close(s.stop)
 	done := make(chan struct{})
 	go func() {

@@ -334,15 +334,15 @@ func TestEvictTerminalSparesLiveJobs(t *testing.T) {
 	store := newJobStore()
 	var spec hotpotato.RunSpec
 
-	queued := store.create(spec)
-	running := store.create(spec)
+	queued := store.create(spec, "")
+	running := store.create(spec, "")
 	running.setStatus(JobRunning)
-	oldDone := store.create(spec)
-	oldDone.finish(JobDone, nil, nil)
-	oldFailed := store.create(spec)
-	oldFailed.finish(JobFailed, nil, context.Canceled)
-	freshDone := store.create(spec)
-	freshDone.finish(JobDone, nil, nil)
+	oldDone := store.create(spec, "")
+	oldDone.finish(JobDone, nil, nil, nil)
+	oldFailed := store.create(spec, "")
+	oldFailed.finish(JobFailed, nil, nil, context.Canceled)
+	freshDone := store.create(spec, "")
+	freshDone.finish(JobDone, nil, nil, nil)
 	freshDone.mu.Lock()
 	freshDone.doneAt = time.Now().Add(time.Hour) // "finished in the future" = after any cutoff
 	freshDone.mu.Unlock()

@@ -1,9 +1,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -65,5 +67,34 @@ func BenchmarkHotloopEpoch(b *testing.B) {
 		if _, err := s.Run(); !errors.Is(err, ErrTimeout) {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Same differencing argument with the observability layer attached: a span
+// recorder (one span per epoch) and a disabled-level slog logger in the
+// context add per-epoch cost only. Both runs cover identical epoch counts, so
+// epoch-level span allocations cancel and the per-slice delta must stay zero.
+func TestEngineSliceBodyDoesNotAllocateWithObservability(t *testing.T) {
+	plat := testPlatform(t, 4, 4)
+	const dt = 0.1e-3
+	run := func(dt float64) {
+		s := timeoutSim(t, plat, dt)
+		rec := obs.NewSpanRecorder(1 << 10)
+		root := rec.Start("run")
+		ctx := obs.ContextWithSpan(context.Background(), root)
+		ctx = obs.ContextWithLogger(ctx, obs.NopLogger())
+		if _, err := s.RunContext(ctx); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("run with dt=%g: want ErrTimeout, got %v", dt, err)
+		}
+		root.End()
+	}
+	coarse := testing.AllocsPerRun(1, func() { run(dt) })
+	fine := testing.AllocsPerRun(1, func() { run(dt / 2) })
+
+	coarseSlices := 0.05 / dt
+	perSlice := (fine - coarse) / coarseSlices
+	if perSlice > 1 {
+		t.Errorf("slice body allocates under tracing: %.2f allocs per extra slice (coarse %v, fine %v)",
+			perSlice, coarse, fine)
 	}
 }

@@ -316,6 +316,15 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 
+	// Span instrumentation: one child span per scheduler epoch under the
+	// context's current span, covering the Decide call and the slice batch
+	// until the next decision. Resolved once here — the slice loop never
+	// consults the context, and a nil runSpan keeps the epoch block at a
+	// single pointer test (the same contract as the epoch tracer).
+	runSpan := obs.SpanFromContext(ctx)
+	var epochSpan *obs.Span
+	defer func() { epochSpan.End() }()
+
 	metricRuns.Inc()
 	res := &Result{Scheduler: s.sched.Name(), PeakTemp: math.Inf(-1)}
 	temps := s.plat.Thermal.InitialTemps()
@@ -395,6 +404,17 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 			}
 			if s.epochTracer != nil {
 				s.recordEpoch(dec, res, now, temps, freqs, corePower, res.Migrations-migBefore, wall)
+			}
+			if runSpan != nil {
+				// The previous epoch's span absorbed the slice batch that just
+				// executed; close it and open the next. One span per epoch,
+				// never per slice.
+				epochSpan.End()
+				epochSpan = runSpan.StartChild("epoch")
+				epochSpan.SetAttr("epoch", res.SchedulerInvocations-1)
+				epochSpan.SetAttr("sim_time_s", now)
+				epochSpan.SetAttr("decide_ns", wall.Nanoseconds())
+				epochSpan.SetAttr("migrations", res.Migrations-migBefore)
 			}
 			interval := dec.NextInvoke
 			if interval <= 0 {
@@ -508,6 +528,14 @@ func (s *Simulator) RunContext(ctx context.Context) (*Result, error) {
 	}
 
 	s.finalize(res, now)
+	obs.LoggerFrom(ctx).Debug("sim: run complete",
+		"scheduler", res.Scheduler,
+		"simulated_s", res.SimulatedTime,
+		"epochs", res.SchedulerInvocations,
+		"peak_temp_c", res.PeakTemp,
+		"migrations", res.Migrations,
+		"decide_host_ns", res.SchedulerHostTime.Nanoseconds(),
+	)
 	return res, nil
 }
 
@@ -668,6 +696,7 @@ func (s *Simulator) apply(dec Decision, live []*threadRt, freqs []float64, res *
 func (s *Simulator) finalize(res *Result, now float64) {
 	if !math.IsInf(res.PeakTemp, 0) && !math.IsNaN(res.PeakTemp) {
 		metricPeakTemp.Set(res.PeakTemp)
+		metricPeakTempDist.Observe(res.PeakTemp)
 	}
 	res.SimulatedTime = now
 	var sum, waitSum float64

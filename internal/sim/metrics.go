@@ -17,5 +17,10 @@ var (
 	metricDTMEvents = obs.NewCounter("sim_dtm_events_total",
 		"Hardware DTM throttle engagements across all runs.")
 	metricPeakTemp = obs.NewGauge("sim_peak_temp_celsius",
-		"Peak core temperature of the most recently finalized run, °C.")
+		"Peak core temperature of the last finished run, °C. Last-writer-wins "+
+			"under concurrent runs; use sim_peak_temp_distribution for aggregates.")
+	metricPeakTempDist = obs.NewHistogram("sim_peak_temp_distribution",
+		"Peak core temperature per finalized run, °C — one observation per run, "+
+			"so concurrent jobs aggregate instead of overwriting each other.",
+		[]float64{45, 50, 55, 60, 65, 67.5, 70, 72.5, 75, 80, 85, 90, 100})
 )

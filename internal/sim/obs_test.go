@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -106,5 +107,97 @@ func TestRunAdvancesObsCounters(t *testing.T) {
 		// Another run may have finalized later with a different peak; the
 		// gauge must at least be a finite plausible temperature.
 		t.Errorf("sim_peak_temp_celsius = %g after run peaking at %g", got, res.PeakTemp)
+	}
+}
+
+// TestRunContextRecordsEpochSpans pins the span granularity contract: one
+// child span per scheduler epoch (never per slice), each carrying the epoch
+// index and the decision's host wall-clock.
+func TestRunContextRecordsEpochSpans(t *testing.T) {
+	plat := testPlatform(t, 2, 2)
+	task := smallTask(t, "blackscholes", 2, 0, 0.02)
+	s, err := New(plat, DefaultConfig(), &greedy{}, []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewSpanRecorder(1 << 16)
+	root := rec.Start("run")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	res, err := s.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	roots := rec.Tree()
+	if len(roots) != 1 {
+		t.Fatalf("got %d root spans, want 1", len(roots))
+	}
+	epochs := roots[0].Children
+	if len(epochs) != res.SchedulerInvocations {
+		t.Fatalf("recorded %d epoch spans for %d scheduler invocations",
+			len(epochs), res.SchedulerInvocations)
+	}
+	var decideTotal int64
+	for i, ep := range epochs {
+		if ep.Name != "epoch" {
+			t.Fatalf("child %d named %q, want epoch", i, ep.Name)
+		}
+		if !ep.Done {
+			t.Errorf("epoch span %d left open", i)
+		}
+		if got, ok := ep.Attrs["epoch"].(int); !ok || got != i {
+			t.Errorf("epoch span %d attr epoch = %v", i, ep.Attrs["epoch"])
+		}
+		ns, ok := ep.Attrs["decide_ns"].(int64)
+		if !ok || ns < 0 {
+			t.Errorf("epoch span %d attr decide_ns = %v", i, ep.Attrs["decide_ns"])
+		}
+		decideTotal += ns
+		if _, ok := ep.Attrs["sim_time_s"].(float64); !ok {
+			t.Errorf("epoch span %d missing sim_time_s", i)
+		}
+		if _, ok := ep.Attrs["migrations"].(int); !ok {
+			t.Errorf("epoch span %d missing migrations", i)
+		}
+	}
+	if decideTotal > res.SchedulerHostTime.Nanoseconds() {
+		t.Errorf("epoch spans sum to %d ns of decide time, result says %d",
+			decideTotal, res.SchedulerHostTime.Nanoseconds())
+	}
+}
+
+// TestRunContextWithoutSpansIsUnchanged guards the uninstrumented fast path:
+// no recorder in the context means no spans, and the run still succeeds.
+func TestRunContextWithoutSpansIsUnchanged(t *testing.T) {
+	plat := testPlatform(t, 2, 2)
+	task := smallTask(t, "swaptions", 1, 0, 0.02)
+	s, err := New(plat, DefaultConfig(), &greedy{}, []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalizeObservesPeakTempDistribution(t *testing.T) {
+	plat := testPlatform(t, 2, 2)
+	task := smallTask(t, "swaptions", 1, 0, 0.02)
+	s, err := New(plat, DefaultConfig(), &greedy{}, []*workload.Task{task})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count0, sum0 := metricPeakTempDist.Count(), metricPeakTempDist.Sum()
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count1, sum1 := metricPeakTempDist.Count(), metricPeakTempDist.Sum()
+	if count1 != count0+1 {
+		t.Errorf("sim_peak_temp_distribution count %d -> %d, want exactly one new observation", count0, count1)
+	}
+	if got := sum1 - sum0; math.Abs(got-res.PeakTemp) > 1e-6 {
+		t.Errorf("distribution sum advanced by %g, want the run's peak %g", got, res.PeakTemp)
 	}
 }

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/noc"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/thermal"
@@ -381,22 +382,42 @@ func ExecuteSpecOnPlatformTraced(ctx context.Context, plat *Platform, spec RunSp
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+
+	// Span instrumentation (docs/OBSERVABILITY.md): when the context carries
+	// a span — a service job root or the CLI's -spans recorder — the two
+	// phases of an execution show up as children: workload_build (task
+	// instantiation + scheduler construction) and simulate (the run itself,
+	// which the engine further splits into per-epoch spans). With no span in
+	// ctx all of this is nil no-ops.
+	buildSpan := obs.SpanFromContext(ctx).StartChild("workload_build")
 	taskSpecs, err := spec.Workload.specs(plat.NumCores())
 	if err != nil {
+		buildSpan.SetError(err)
+		buildSpan.End()
 		return nil, err
 	}
 	tasks, err := Instantiate(taskSpecs)
 	if err != nil {
+		buildSpan.SetError(err)
+		buildSpan.End()
 		return nil, err
 	}
 	schedSpec, err := spec.Scheduler.AutoPin(plat, tasks)
 	if err != nil {
+		buildSpan.SetError(err)
+		buildSpan.End()
 		return nil, err
 	}
 	scheduler, err := NewSchedulerFromSpec(plat, schedSpec)
 	if err != nil {
+		buildSpan.SetError(err)
+		buildSpan.End()
 		return nil, err
 	}
+	buildSpan.SetAttr("tasks", len(tasks))
+	buildSpan.SetAttr("scheduler", schedSpec.Name)
+	buildSpan.End()
+
 	simulation, err := sim.New(plat, spec.Sim, scheduler, tasks)
 	if err != nil {
 		return nil, err
@@ -404,5 +425,13 @@ func ExecuteSpecOnPlatformTraced(ctx context.Context, plat *Platform, spec RunSp
 	if tracer != nil {
 		simulation.SetEpochTracer(tracer)
 	}
-	return simulation.RunContext(ctx)
+	runCtx, simSpan := obs.StartSpan(ctx, "simulate")
+	res, err := simulation.RunContext(runCtx)
+	simSpan.SetError(err)
+	if res != nil {
+		simSpan.SetAttr("epochs", res.SchedulerInvocations)
+		simSpan.SetAttr("simulated_s", res.SimulatedTime)
+	}
+	simSpan.End()
+	return res, err
 }
