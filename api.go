@@ -115,6 +115,9 @@ type (
 	// PeakCalculator evaluates rotation plans analytically. It is
 	// immutable after construction — evaluations allocate their own
 	// scratch — so one calculator may serve concurrent goroutines.
+	// Against a sparse-mode thermal model it evaluates by certified
+	// fixed-point iteration instead of the eigenbasis (same results
+	// within rotation.DefaultIterTol; see Calculator.Iterative).
 	PeakCalculator = rotation.Calculator
 	// RotationResult is the detailed periodic steady state of a plan.
 	RotationResult = rotation.Result
@@ -127,6 +130,20 @@ type (
 	// PCMigOption customises the PCMig baseline.
 	PCMigOption = sched.PCMigOption
 )
+
+// Thermal solver backends, re-exported for PlatformConfig.Thermal.Solver
+// (JSON: platform.thermal.solver). SolverAuto — also the zero value "" —
+// picks dense below thermal.SparseAutoNodeThreshold nodes and sparse above;
+// both backends agree to ≤ 1e-9 K. See docs/THEORY.md §"Sparse numerics".
+const (
+	SolverAuto   = thermal.SolverAuto
+	SolverDense  = thermal.SolverDense
+	SolverSparse = thermal.SolverSparse
+)
+
+// ValidateSolver checks a thermal solver name ("" is accepted as auto) and
+// returns the same error RunSpec.Validate would report for it.
+func ValidateSolver(name string) error { return thermal.ValidateSolver(name) }
 
 // ErrTimeout reports that a run hit SimConfig.MaxTime before completing.
 var ErrTimeout = sim.ErrTimeout

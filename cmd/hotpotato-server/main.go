@@ -28,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	hotpotato "repro"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -40,6 +41,7 @@ func main() {
 	retention := flag.Duration("job-retention", 0, "how long finished async jobs stay queryable (0 = 10m, negative = keep forever)")
 	traceDepth := flag.Int("trace-depth", 0, "scheduler epochs retained per async job for /v1/jobs/{id}/trace (0 = 4096, negative = disable)")
 	spanDepth := flag.Int("span-depth", 0, "spans retained per async job for /v1/jobs/{id}/spans (0 = 8192, negative = disable)")
+	solver := flag.String("solver", "", "default thermal solver for specs that leave platform.thermal.solver empty: auto|dense|sparse")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "json", "log format: json|text")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -53,11 +55,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := hotpotato.ValidateSolver(*solver); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		JobRetention: *retention, TraceDepth: *traceDepth, SpanDepth: *spanDepth,
-		Logger: logger,
+		DefaultSolver: *solver,
+		Logger:        logger,
 	})
 	handler := svc.Handler()
 	if *enablePprof {

@@ -33,6 +33,7 @@ func main() {
 	schedName := flag.String("sched", "hotpotato",
 		"scheduler: "+strings.Join(hotpotato.SchedulerNames(), "|"))
 	grid := flag.Int("grid", 8, "chip edge length (grid×grid cores)")
+	solver := flag.String("solver", "", "thermal solver backend: auto|dense|sparse (default: auto — sparse above 512 nodes)")
 	bench := flag.String("bench", "", "homogeneous workload: PARSEC benchmark name")
 	benchFile := flag.String("benchfile", "", "JSON file with custom benchmark models (see BenchmarksFromJSON)")
 	threads := flag.Int("threads", 0, "homogeneous workload: total threads (default: fill the chip)")
@@ -56,7 +57,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	plat, err := hotpotato.NewPlatform(*grid, *grid)
+	if err := hotpotato.ValidateSolver(*solver); err != nil {
+		fatal(err)
+	}
+	platCfg := hotpotato.DefaultPlatformConfig(*grid, *grid)
+	platCfg.Thermal.Solver = *solver
+	plat, err := hotpotato.NewPlatformFromConfig(platCfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,298 @@
+package hotpotato_test
+
+// docs_test.go keeps the documentation and the source from drifting apart.
+// Three classes of check, all running in the ordinary test suite (and hence
+// in CI):
+//
+//   - the hotpotato-server flags table in docs/SERVICE.md lists exactly the
+//     flags the binary defines (TestServerFlagsMatchServiceDoc);
+//   - every docs-file §-heading reference in Go sources and markdown
+//     resolves to a real heading (TestDocSectionReferencesResolve), and
+//     every relative markdown link and backticked docs-path mention points
+//     at an existing file (TestMarkdownLinksResolve);
+//   - every exported identifier of the numerics packages carries a doc
+//     comment (TestExportedAPIsAreDocumented) — the numerics contract is a
+//     documented API or it is nothing.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// serverFlags parses cmd/hotpotato-server/main.go and returns the defined
+// flag names mapped to their default-value expression rendered as source.
+func serverFlags(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cmd/hotpotato-server/main.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := map[string]string{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 3 {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "flag" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "String", "Int", "Bool", "Float64", "Duration":
+		default:
+			return true
+		}
+		name, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || name.Kind != token.STRING {
+			return true
+		}
+		def := ""
+		if lit, ok := call.Args[1].(*ast.BasicLit); ok {
+			def = strings.Trim(lit.Value, `"`)
+		}
+		flags[strings.Trim(name.Value, `"`)] = def
+		return true
+	})
+	if len(flags) == 0 {
+		t.Fatal("no flag definitions found in cmd/hotpotato-server/main.go")
+	}
+	return flags
+}
+
+// serviceDocFlags parses the flags table of docs/SERVICE.md: rows of the
+// form `| `-name` | `default` | meaning |`.
+func serviceDocFlags(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile("docs/SERVICE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `-([a-z-]+)` \\| (.*?) \\|")
+	flags := map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			flags[m[1]] = m[2]
+		}
+	}
+	if len(flags) == 0 {
+		t.Fatal("no flag rows found in docs/SERVICE.md")
+	}
+	return flags
+}
+
+func TestServerFlagsMatchServiceDoc(t *testing.T) {
+	src := serverFlags(t)
+	doc := serviceDocFlags(t)
+	for name := range src {
+		if _, ok := doc[name]; !ok {
+			t.Errorf("flag -%s is defined by cmd/hotpotato-server but missing from the docs/SERVICE.md flags table", name)
+		}
+	}
+	for name := range doc {
+		if _, ok := src[name]; !ok {
+			t.Errorf("docs/SERVICE.md documents flag -%s which cmd/hotpotato-server does not define", name)
+		}
+	}
+	// For string flags with a non-empty literal default, the doc's default
+	// column must quote it verbatim (e.g. `:8080`, `info`).
+	for name, def := range src {
+		if def == "" || def == "0" || def == "false" {
+			continue
+		}
+		if cell, ok := doc[name]; ok && !strings.Contains(cell, def) {
+			t.Errorf("docs/SERVICE.md default %q for -%s does not mention the source default %q", cell, name, def)
+		}
+	}
+}
+
+// docSectionRef matches docs-path section references of the shape
+// docs/<NAME>.md §"Some heading" in source and documentation.
+var docSectionRef = regexp.MustCompile(`docs/([A-Z_]+\.md) §"([^"]+)"`)
+
+func TestDocSectionReferencesResolve(t *testing.T) {
+	docs := map[string]string{}
+	readDoc := func(name string) string {
+		if s, ok := docs[name]; ok {
+			return s
+		}
+		data, err := os.ReadFile(filepath.Join("docs", name))
+		if err != nil {
+			t.Fatalf("referenced doc does not exist: %v", err)
+		}
+		docs[name] = string(data)
+		return docs[name]
+	}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if ext := filepath.Ext(path); ext != ".go" && ext != ".md" {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range docSectionRef.FindAllStringSubmatch(string(data), -1) {
+			if !strings.Contains(readDoc(m[1]), m[2]) {
+				t.Errorf("%s references docs/%s §%q, but no such heading text exists", path, m[1], m[2])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+var (
+	mdLink     = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	mdWikiLink = regexp.MustCompile(`\[\[([^\]\n]+)\]\]`)
+	mdPathWord = regexp.MustCompile("`((?:docs/)?[A-Za-z_]+\\.md)`")
+)
+
+// TestMarkdownLinksResolve checks every relative markdown link and every
+// backticked *.md path mention in README.md and docs/ against the
+// filesystem.
+func TestMarkdownLinksResolve(t *testing.T) {
+	files, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, "README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(data)
+		dir := filepath.Dir(file)
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				t.Errorf("%s links to %q which does not exist", file, m[1])
+			}
+		}
+		// Mentions like `docs/THEORY.md` are links in spirit; they must
+		// resolve from the repository root.
+		for _, m := range mdPathWord.FindAllStringSubmatch(text, -1) {
+			if _, err := os.Stat(m[1]); err != nil {
+				t.Errorf("%s mentions %q which does not exist at the repo root", file, m[1])
+			}
+		}
+		// Wiki-style [[target]] links (none today, but cheap to keep honest):
+		// the target must exist as a file, with or without a .md suffix.
+		for _, m := range mdWikiLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if _, err := os.Stat(filepath.Join(dir, target)); err == nil {
+				continue
+			}
+			if _, err := os.Stat(filepath.Join(dir, target+".md")); err == nil {
+				continue
+			}
+			t.Errorf("%s wiki-links [[%s]] which resolves to no file", file, target)
+		}
+	}
+}
+
+// TestExportedAPIsAreDocumented walks the numerics packages and requires a
+// doc comment on every exported top-level declaration — types, functions,
+// methods on exported receivers, and const/var groups (a group comment
+// covers its members).
+func TestExportedAPIsAreDocumented(t *testing.T) {
+	for _, dir := range []string{"internal/matrix", "internal/thermal", "internal/rotation"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDeclDocumented(t, fset, decl)
+				}
+			}
+		}
+	}
+}
+
+func checkDeclDocumented(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	pos := func(n ast.Node) string { return fset.Position(n.Pos()).String() }
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return
+		}
+		if d.Doc.Text() == "" {
+			t.Errorf("%s: exported func %s has no doc comment", pos(d), d.Name.Name)
+		}
+	case *ast.GenDecl:
+		groupDoc := d.Doc.Text() != ""
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && !groupDoc && s.Doc.Text() == "" {
+					t.Errorf("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				if groupDoc || s.Doc.Text() != "" {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						t.Errorf("%s: exported %s has no doc comment (neither on the spec nor the group)", pos(s), name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.IndexExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

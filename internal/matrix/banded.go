@@ -1,0 +1,236 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// banded.go implements symmetric banded storage and the banded Cholesky
+// factorization behind the sparse thermal solver's steady-state solves.
+// Under an RCM ordering (rcm.go) the head block of the thermal conductance
+// matrix has half-bandwidth O(grid width), so a factorization costs
+// O(N·k²) and each solve O(N·k) — versus O(N³)/O(N²) dense. The numbers are
+// tabulated in docs/PERFORMANCE.md; the structure argument is in
+// docs/THEORY.md §"Why the Laplacian is banded".
+
+// SymBanded is a symmetric n×n matrix with half-bandwidth k (entries with
+// |i−j| > k are structurally zero), storing the lower band row-major: row i
+// holds columns max(0, i−k)..i. Like Dense, a SymBanded is mutable during
+// assembly and must not be mutated once shared between goroutines.
+type SymBanded struct {
+	n, k int
+	// data[i*(k+1) + (j-i+k)] = a_ij for i-k ≤ j ≤ i.
+	data []float64
+}
+
+// NewSymBanded returns a zeroed symmetric n×n matrix with half-bandwidth k.
+func NewSymBanded(n, k int) *SymBanded {
+	if n <= 0 || k < 0 {
+		panic(fmt.Sprintf("matrix: invalid banded dimensions n=%d k=%d", n, k))
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return &SymBanded{n: n, k: k, data: make([]float64, n*(k+1))}
+}
+
+// Dim returns the matrix dimension n.
+func (m *SymBanded) Dim() int { return m.n }
+
+// Bandwidth returns the half-bandwidth k.
+func (m *SymBanded) Bandwidth() int { return m.k }
+
+// At returns a_ij, exploiting symmetry; entries outside the band are zero.
+func (m *SymBanded) At(i, j int) float64 {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for %d-dim banded matrix", i, j, m.n))
+	}
+	if j > i {
+		i, j = j, i
+	}
+	if i-j > m.k {
+		return 0
+	}
+	return m.data[i*(m.k+1)+(j-i+m.k)]
+}
+
+// Add accumulates v into a_ij (and by symmetry a_ji). It panics if (i, j)
+// lies outside the band — assembly must size the bandwidth first (see
+// BandwidthUnder).
+func (m *SymBanded) Add(i, j int, v float64) {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for %d-dim banded matrix", i, j, m.n))
+	}
+	if j > i {
+		i, j = j, i
+	}
+	if i-j > m.k {
+		panic(fmt.Sprintf("matrix: entry (%d,%d) outside half-bandwidth %d", i, j, m.k))
+	}
+	m.data[i*(m.k+1)+(j-i+m.k)] += v
+}
+
+// MulVecTo computes m·x into dst using the symmetric band in O(n·k); the
+// destination-passing contract of Dense.MulVecTo applies: no allocation, dst
+// must not alias x.
+func (m *SymBanded) MulVecTo(dst, x []float64) {
+	if len(x) != m.n || len(dst) != m.n {
+		panic(fmt.Sprintf("matrix: banded MulVecTo got dst %d, x %d, want %d", len(dst), len(x), m.n))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	w := m.k + 1
+	for i := 0; i < m.n; i++ {
+		row := m.data[i*w : (i+1)*w]
+		lo := i - m.k
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			v := row[j-i+m.k]
+			dst[i] += v * x[j]
+			dst[j] += v * x[i]
+		}
+		dst[i] += row[m.k] * x[i]
+	}
+}
+
+// ToDense materializes the full symmetric matrix (tests and small systems).
+func (m *SymBanded) ToDense() *Dense {
+	d := New(m.n, m.n)
+	for i := 0; i < m.n; i++ {
+		lo := i - m.k
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			v := m.data[i*(m.k+1)+(j-i+m.k)]
+			d.Set(i, j, v)
+			d.Set(j, i, v)
+		}
+	}
+	return d
+}
+
+// BandedCholesky holds the factorization A = L·Lᵀ of a symmetric positive
+// definite banded matrix, with L lower triangular of the same half-bandwidth
+// (Cholesky of a banded matrix incurs no fill outside the band). It is
+// immutable after FactorBandedCholesky and safe for concurrent solves as
+// long as each caller passes its own destination (the solver itself keeps no
+// scratch).
+type BandedCholesky struct {
+	n, k int
+	l    []float64 // same layout as SymBanded: row i holds L_i,max(0,i-k)..L_ii
+}
+
+// FactorBandedCholesky computes the banded Cholesky factorization of a in
+// O(n·k²). It returns an error if a is not positive definite — for the
+// thermal head block that certifies the model is dissipative.
+func FactorBandedCholesky(a *SymBanded) (*BandedCholesky, error) {
+	n, k := a.n, a.k
+	w := k + 1
+	c := &BandedCholesky{n: n, k: k, l: make([]float64, n*w)}
+	copy(c.l, a.data)
+	l := c.l
+	for j := 0; j < n; j++ {
+		d := l[j*w+k]
+		// Subtract the squared band of row j accumulated so far.
+		lo := j - k
+		if lo < 0 {
+			lo = 0
+		}
+		for p := lo; p < j; p++ {
+			v := l[j*w+(p-j+k)]
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("matrix: banded Cholesky: not positive definite (pivot %d = %g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l[j*w+k] = ljj
+
+		hi := j + k
+		if hi >= n {
+			hi = n - 1
+		}
+		for i := j + 1; i <= hi; i++ {
+			s := l[i*w+(j-i+k)]
+			// Dot of rows i and j over their shared band prefix.
+			plo := i - k
+			if plo < lo {
+				plo = lo
+			}
+			for p := plo; p < j; p++ {
+				s -= l[i*w+(p-i+k)] * l[j*w+(p-j+k)]
+			}
+			l[i*w+(j-i+k)] = s / ljj
+		}
+	}
+	return c, nil
+}
+
+// Dim returns the system dimension n.
+func (c *BandedCholesky) Dim() int { return c.n }
+
+// Bandwidth returns the half-bandwidth k of the factor.
+func (c *BandedCholesky) Bandwidth() int { return c.k }
+
+// ForwardTo solves L·y = b into dst in O(n·k) with no allocation. dst may
+// alias b (the sweep only reads entries it has already written).
+func (c *BandedCholesky) ForwardTo(dst, b []float64) {
+	c.checkLen(dst, b)
+	n, k, w := c.n, c.k, c.k+1
+	l := c.l
+	for i := 0; i < n; i++ {
+		s := b[i]
+		lo := i - k
+		if lo < 0 {
+			lo = 0
+		}
+		for p := lo; p < i; p++ {
+			s -= l[i*w+(p-i+k)] * dst[p]
+		}
+		dst[i] = s / l[i*w+k]
+	}
+}
+
+// BackwardTo solves Lᵀ·x = y into dst in O(n·k) with no allocation. dst may
+// alias y.
+func (c *BandedCholesky) BackwardTo(dst, y []float64) {
+	c.checkLen(dst, y)
+	n, k, w := c.n, c.k, c.k+1
+	l := c.l
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		hi := i + k
+		if hi >= n {
+			hi = n - 1
+		}
+		for p := i + 1; p <= hi; p++ {
+			s -= l[p*w+(i-p+k)] * dst[p]
+		}
+		dst[i] = s / l[i*w+k]
+	}
+}
+
+// SolveVecTo solves A·x = b into dst with no allocation: the
+// destination-passing twin of Cholesky.SolveVec for banded systems. dst may
+// alias b.
+func (c *BandedCholesky) SolveVecTo(dst, b []float64) {
+	c.ForwardTo(dst, b)
+	c.BackwardTo(dst, dst)
+}
+
+// SolveVec solves A·x = b, allocating the result.
+func (c *BandedCholesky) SolveVec(b []float64) []float64 {
+	dst := make([]float64, c.n)
+	c.SolveVecTo(dst, b)
+	return dst
+}
+
+func (c *BandedCholesky) checkLen(dst, b []float64) {
+	if len(b) != c.n || len(dst) != c.n {
+		panic(fmt.Sprintf("matrix: banded solve got dst %d, rhs %d, want %d", len(dst), len(b), c.n))
+	}
+}

@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomBandedSPD returns a random symmetric positive definite matrix with
+// the given half-bandwidth, both in banded and dense form. Diagonal
+// dominance guarantees positive definiteness.
+func randomBandedSPD(rng *rand.Rand, n, k int) (*SymBanded, *Dense) {
+	sb := NewSymBanded(n, k)
+	for i := 0; i < n; i++ {
+		lo := i - k
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			sb.Add(i, j, rng.NormFloat64())
+		}
+	}
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				rowSum += math.Abs(sb.At(i, j))
+			}
+		}
+		sb.Add(i, i, rowSum+0.5+rng.Float64())
+	}
+	return sb, sb.ToDense()
+}
+
+// TestBandedCholeskyMatchesDense is the differential property test of the
+// numerics contract: across ≥100 seeded random banded SPD systems, the
+// banded factorization must agree with the dense Cholesky solve to close to
+// machine precision.
+func TestBandedCholeskyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trial := 0
+	f := func() bool {
+		trial++
+		n := 2 + rng.Intn(40)
+		k := rng.Intn(n)
+		sb, d := randomBandedSPD(rng, n, k)
+
+		bc, err := FactorBandedCholesky(sb)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d k=%d): banded Cholesky failed: %v", trial, n, k, err)
+		}
+		dc, err := FactorCholesky(d)
+		if err != nil {
+			t.Fatalf("trial %d: dense Cholesky failed: %v", trial, err)
+		}
+
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		want, err := dc.SolveVec(rhs)
+		if err != nil {
+			t.Fatalf("trial %d: dense solve failed: %v", trial, err)
+		}
+		got := bc.SolveVec(rhs)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d (n=%d k=%d): x[%d] = %g, dense %g", trial, n, k, i, got[i], want[i])
+			}
+		}
+
+		// Residual check against the original matrix, independent of the
+		// dense reference.
+		ax := make([]float64, n)
+		sb.MulVecTo(ax, got)
+		for i := range rhs {
+			if math.Abs(ax[i]-rhs[i]) > 1e-8*(1+math.Abs(rhs[i])) {
+				t.Fatalf("trial %d: residual[%d] = %g", trial, i, ax[i]-rhs[i])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedCholeskyRejectsIndefinite(t *testing.T) {
+	sb := NewSymBanded(3, 1)
+	sb.Add(0, 0, 1)
+	sb.Add(1, 1, -2) // indefinite
+	sb.Add(2, 2, 1)
+	if _, err := FactorBandedCholesky(sb); err == nil {
+		t.Fatal("expected failure on an indefinite matrix")
+	}
+}
+
+func TestBandedMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		k := rng.Intn(n)
+		sb, d := randomBandedSPD(rng, n, k)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		sb.MulVecTo(got, x)
+		want := d.MulVec(x)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-10*(1+math.Abs(want[i])) {
+				t.Fatalf("trial %d: (Ax)[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBandedSolveInPlaceAndAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sb, _ := randomBandedSPD(rng, 40, 5)
+	bc, err := FactorBandedCholesky(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([]float64, 40)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	want := bc.SolveVec(rhs)
+
+	// dst aliasing the rhs is part of the contract.
+	inPlace := append([]float64(nil), rhs...)
+	bc.SolveVecTo(inPlace, inPlace)
+	for i := range want {
+		if math.Abs(want[i]-inPlace[i]) > 1e-12 {
+			t.Fatalf("in-place solve diverged at %d: %g vs %g", i, inPlace[i], want[i])
+		}
+	}
+
+	dst := make([]float64, 40)
+	if allocs := testing.AllocsPerRun(100, func() { bc.SolveVecTo(dst, rhs) }); allocs != 0 {
+		t.Fatalf("SolveVecTo allocates %v times per call, want 0", allocs)
+	}
+}

@@ -1,0 +1,254 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseSymOp adapts a dense symmetric matrix to the SymOp interface.
+type denseSymOp struct{ a *Dense }
+
+func (o denseSymOp) Dim() int                  { return o.a.Rows() }
+func (o denseSymOp) MulVecTo(dst, x []float64) { o.a.MulVecTo(dst, x) }
+
+// randomNegDefSym returns a random symmetric negative semidefinite matrix
+// A = −Qᵀdiag(λ)Q with λ ∈ [0, spread], built from a random orthogonal-ish
+// basis — the spectral shape of the whitened thermal operator.
+func randomNegDefSym(rng *rand.Rand, n int, spread float64) *Dense {
+	// Random symmetric, then shift to make it negative semidefinite by
+	// Gershgorin.
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := rng.NormFloat64() * spread / float64(n)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				row += math.Abs(a.At(i, j))
+			}
+		}
+		a.Set(i, i, a.At(i, i)-row-rng.Float64()*spread)
+	}
+	return a
+}
+
+// TestKrylovExpmMatchesDense pins the Lanczos expm·v kernel against the
+// dense eigendecomposition across ≥100 seeded random symmetric
+// negative-definite systems (the numerics-contract differential test).
+func TestKrylovExpmMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	trial := 0
+	f := func() bool {
+		trial++
+		n := 2 + rng.Intn(30)
+		spread := math.Exp(rng.Float64()*4 - 1) // ‖A‖ from ~0.4 to ~20
+		a := randomNegDefSym(rng, n, spread)
+		tstep := rng.Float64() * 2
+
+		es, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("trial %d: SymEigen: %v", trial, err)
+		}
+		// e^{tA} via the dense eigen path (V orthogonal ⇒ V⁻¹ = Vᵀ).
+		exp := ExpmEigen(es.Vectors, es.Values, es.Vectors.Transpose(), tstep)
+
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		want := exp.MulVec(v)
+
+		k := NewKrylovExpm(denseSymOp{a}, 0, 0)
+		got := make([]float64, n)
+		dim, est, err := k.ExpmVTo(got, tstep, v)
+		if err != nil {
+			t.Fatalf("trial %d: ExpmVTo: %v", trial, err)
+		}
+		scale := VecNorm2(v)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+scale) {
+				t.Fatalf("trial %d (n=%d, t=%.3g, dim=%d, est=%.3g): w[%d] = %g, dense %g",
+					trial, n, tstep, dim, est, i, got[i], want[i])
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKrylovExpmHappyBreakdown(t *testing.T) {
+	// v an exact eigenvector ⇒ the subspace is invariant after one step and
+	// the kernel must terminate early with an (essentially) exact result.
+	n := 12
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = -float64(i + 1)
+	}
+	a := Diagonal(d)
+	v := make([]float64, n)
+	v[3] = 2.5
+	k := NewKrylovExpm(denseSymOp{a}, 0, 0)
+	got := make([]float64, n)
+	dim, est, err := k.ExpmVTo(got, 0.7, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim > 2 {
+		t.Fatalf("eigenvector input used %d Lanczos dimensions, want ≤ 2", dim)
+	}
+	if est > 1e-12 {
+		t.Fatalf("happy breakdown should report ~0 estimate, got %g", est)
+	}
+	want := 2.5 * math.Exp(0.7*-4)
+	if math.Abs(got[3]-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("got[3] = %g, want %g", got[3], want)
+	}
+}
+
+func TestKrylovExpmEdgeCases(t *testing.T) {
+	a := randomNegDefSym(rand.New(rand.NewSource(3)), 5, 1)
+	k := NewKrylovExpm(denseSymOp{a}, 0, 0)
+	dst := make([]float64, 5)
+
+	// t = 0 ⇒ identity.
+	v := []float64{1, -2, 3, -4, 5}
+	if _, _, err := k.ExpmVTo(dst, 0, v); err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if dst[i] != v[i] {
+			t.Fatalf("t=0 must return v, got %v", dst)
+		}
+	}
+
+	// v = 0 ⇒ 0.
+	zero := make([]float64, 5)
+	if _, _, err := k.ExpmVTo(dst, 1, zero); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != 0 {
+			t.Fatalf("v=0 must return 0, got %v", dst)
+		}
+	}
+
+	// dst aliasing v is allowed.
+	alias := append([]float64(nil), v...)
+	want := make([]float64, 5)
+	if _, _, err := k.ExpmVTo(want, 0.5, v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := k.ExpmVTo(alias, 0.5, alias); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(alias[i]-want[i]) > 1e-14 {
+			t.Fatalf("aliased call diverged: %v vs %v", alias, want)
+		}
+	}
+}
+
+// TestKrylovExpmReuseAcrossCalls reuses one kernel for many products with
+// varying step sizes, so successive calls converge at different subspace
+// dimensions below the cap. Regression test for the eigenvector workspace
+// keeping stale rotations between calls (the z block is strided by maxDim,
+// so resetting it as if it were densely packed m×m misses the tail rows).
+func TestKrylovExpmReuseAcrossCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 25
+	a := randomNegDefSym(rng, n, 8)
+	es, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewKrylovExpm(denseSymOp{a}, 0, 0)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	got := make([]float64, n)
+	scale := VecNorm2(v)
+	// Long steps first (large subspace), then short (small subspace): the
+	// small-m calls must not inherit the large-m rotations.
+	for _, tstep := range []float64{2.0, 1.3, 0.4, 0.1, 0.02, 0.004, 0.6, 1.7} {
+		exp := ExpmEigen(es.Vectors, es.Values, es.Vectors.Transpose(), tstep)
+		want := exp.MulVec(v)
+		dim, est, err := k.ExpmVTo(got, tstep, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9*(1+scale) {
+				t.Fatalf("t=%.3g (dim=%d, est=%.3g): w[%d] = %g, dense %g",
+					tstep, dim, est, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKrylovExpmAllocationFree(t *testing.T) {
+	a := randomNegDefSym(rand.New(rand.NewSource(4)), 40, 3)
+	k := NewKrylovExpm(denseSymOp{a}, 0, 0)
+	v := make([]float64, 40)
+	for i := range v {
+		v[i] = rand.New(rand.NewSource(5)).NormFloat64() + float64(i)
+	}
+	dst := make([]float64, 40)
+	if allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := k.ExpmVTo(dst, 0.3, v); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("ExpmVTo allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestSymTridEigen checks the QL sweep directly on random tridiagonals
+// against the dense Jacobi eigensolver.
+func TestSymTridEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(20)
+		d := make([]float64, n)
+		e := make([]float64, n)
+		full := New(n, n)
+		for i := 0; i < n; i++ {
+			d[i] = rng.NormFloat64() * 3
+			full.Set(i, i, d[i])
+			if i < n-1 {
+				e[i] = rng.NormFloat64()
+				full.Set(i, i+1, e[i])
+				full.Set(i+1, i, e[i])
+			}
+		}
+		z := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			z[i*n+i] = 1
+		}
+		if err := symTridEigen(d, e, n, z, n); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Each (d[q], z[:,q]) must satisfy A·z = d·z.
+		for q := 0; q < n; q++ {
+			for i := 0; i < n; i++ {
+				var av float64
+				for j := 0; j < n; j++ {
+					av += full.At(i, j) * z[j*n+q]
+				}
+				if math.Abs(av-d[q]*z[i*n+q]) > 1e-10*(1+math.Abs(d[q])) {
+					t.Fatalf("trial %d: eigenpair %d violates A·v = λ·v at row %d (%.3g vs %.3g)",
+						trial, q, i, av, d[q]*z[i*n+q])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// sparse.go holds the compressed-sparse-row machinery the large-platform
+// thermal solver is built on. The RC conductance matrix of an n-core chip is
+// a weighted graph Laplacian with O(n) non-zeros; storing it as CSR makes a
+// matrix–vector product O(nnz) instead of O(N²) and is the substrate of the
+// Krylov transient solver (krylov.go) and the banded steady-state
+// factorization (banded.go). docs/THEORY.md §"Sparse numerics" derives why
+// this structure exists; docs/PERFORMANCE.md lists the kernel costs.
+
+// SparseBuilder accumulates coordinate-format (row, col, value) triplets and
+// finalizes them into a CSR matrix. Duplicate entries for the same (row, col)
+// are summed, which matches how a finite-volume/RC assembly naturally emits
+// couplings (each edge contributes to four entries). A SparseBuilder is for
+// construction-time use only and is not goroutine-safe.
+type SparseBuilder struct {
+	rows, cols int
+	ri, ci     []int
+	v          []float64
+}
+
+// NewSparseBuilder returns an empty builder for a rows×cols matrix.
+func NewSparseBuilder(rows, cols int) *SparseBuilder {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid sparse dimensions %dx%d", rows, cols))
+	}
+	return &SparseBuilder{rows: rows, cols: cols}
+}
+
+// Add accumulates v into entry (i, j). Adding zero is a no-op, so assembly
+// loops need no special-casing of absent couplings.
+func (b *SparseBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("matrix: sparse index (%d,%d) out of range for %dx%d matrix", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.ri = append(b.ri, i)
+	b.ci = append(b.ci, j)
+	b.v = append(b.v, v)
+}
+
+// ToCSR finalizes the accumulated triplets into a CSR matrix: entries are
+// sorted by (row, col) and duplicates summed. The builder remains usable
+// (further Adds affect only later ToCSR calls).
+func (b *SparseBuilder) ToCSR() *CSR {
+	idx := make([]int, len(b.v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, c := idx[x], idx[y]
+		if b.ri[a] != b.ri[c] {
+			return b.ri[a] < b.ri[c]
+		}
+		return b.ci[a] < b.ci[c]
+	})
+
+	m := &CSR{rows: b.rows, cols: b.cols, rowStart: make([]int, b.rows+1)}
+	lastRow, lastCol := -1, -1
+	for _, k := range idx {
+		r, c, v := b.ri[k], b.ci[k], b.v[k]
+		if r == lastRow && c == lastCol {
+			m.val[len(m.val)-1] += v
+			continue
+		}
+		m.colIdx = append(m.colIdx, c)
+		m.val = append(m.val, v)
+		lastRow, lastCol = r, c
+		m.rowStart[r+1] = len(m.val)
+	}
+	// Rows with no entries inherit the running offset.
+	for r := 1; r <= b.rows; r++ {
+		if m.rowStart[r] < m.rowStart[r-1] {
+			m.rowStart[r] = m.rowStart[r-1]
+		}
+	}
+	return m
+}
+
+// ToDense materializes the accumulated triplets as a dense matrix — the
+// small-platform path and the reference the differential tests compare
+// against.
+func (b *SparseBuilder) ToDense() *Dense {
+	m := New(b.rows, b.cols)
+	for k, v := range b.v {
+		m.Add(b.ri[k], b.ci[k], v)
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix: row r's entries are
+// val[rowStart[r]:rowStart[r+1]] with column indices
+// colIdx[rowStart[r]:rowStart[r+1]], sorted by column. A CSR is immutable
+// after construction and therefore safe to share between goroutines
+// (docs/CONCURRENCY.md: model substrate).
+type CSR struct {
+	rows, cols int
+	rowStart   []int
+	colIdx     []int
+	val        []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.val) }
+
+// At returns the element at (i, j) by binary search over row i — O(log nnz
+// per row), intended for tests and assembly-time inspection, not hot loops.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for %dx%d CSR", i, j, m.rows, m.cols))
+	}
+	lo, hi := m.rowStart[i], m.rowStart[i+1]
+	k := lo + sort.SearchInts(m.colIdx[lo:hi], j)
+	if k < hi && m.colIdx[k] == j {
+		return m.val[k]
+	}
+	return 0
+}
+
+// MulVecTo computes the matrix–vector product m·x into dst in O(nnz), the
+// destination-passing sparse twin of Dense.MulVecTo. It performs no
+// allocation. dst must have length m.Rows() and must not alias x.
+func (m *CSR) MulVecTo(dst, x []float64) {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d CSR by vector of length %d", m.rows, m.cols, len(x)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecTo destination length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+			s += m.val[k] * x[m.colIdx[k]]
+		}
+		dst[i] = s
+	}
+}
+
+// MulVec returns m·x, the allocating wrapper around MulVecTo.
+func (m *CSR) MulVec(x []float64) []float64 {
+	dst := make([]float64, m.rows)
+	m.MulVecTo(dst, x)
+	return dst
+}
+
+// Range calls f for every stored entry in row-major, column-sorted order —
+// the assembly-time iteration primitive (splitting a matrix into blocks,
+// filling a banded copy under a permutation).
+func (m *CSR) Range(f func(i, j int, v float64)) {
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+			f(i, m.colIdx[k], m.val[k])
+		}
+	}
+}
+
+// ToDense materializes the CSR as a dense matrix. O(rows·cols) storage —
+// intended for tests and small matrices only.
+func (m *CSR) ToDense() *Dense {
+	d := New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+			d.Set(i, m.colIdx[k], m.val[k])
+		}
+	}
+	return d
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol. O(nnz log
+// nnz) — construction-time certification, not a hot path.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for k := m.rowStart[i]; k < m.rowStart[i+1]; k++ {
+			j := m.colIdx[k]
+			if j == i {
+				continue
+			}
+			// Check both triangles: an entry with no stored transpose
+			// partner must still be caught.
+			d := m.val[k] - m.At(j, i)
+			if d < -tol || d > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSparse builds a random n×n matrix with the given fill fraction as
+// both a builder and its dense mirror, exercising duplicate accumulation.
+func randomSparse(rng *rand.Rand, n int, fill float64) (*SparseBuilder, *Dense) {
+	b := NewSparseBuilder(n, n)
+	d := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < fill {
+				v := rng.NormFloat64()
+				b.Add(i, j, v)
+				d.Add(i, j, v)
+				if rng.Float64() < 0.3 { // duplicate triplet for the same slot
+					w := rng.NormFloat64()
+					b.Add(i, j, w)
+					d.Add(i, j, w)
+				}
+			}
+		}
+	}
+	return b, d
+}
+
+func TestCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		b, d := randomSparse(rng, n, 0.25)
+		c := b.ToCSR()
+
+		if !c.ToDense().ApproxEqual(d, 1e-14) {
+			t.Fatalf("trial %d: CSR→dense mismatch", trial)
+		}
+		if got := b.ToDense(); !got.ApproxEqual(d, 1e-14) {
+			t.Fatalf("trial %d: builder→dense mismatch", trial)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(c.At(i, j)-d.At(i, j)) > 1e-14 {
+					t.Fatalf("trial %d: At(%d,%d) = %g, dense %g", trial, i, j, c.At(i, j), d.At(i, j))
+				}
+			}
+		}
+
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := d.MulVec(x)
+		got := c.MulVec(x)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-12 {
+				t.Fatalf("trial %d: MulVec[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCSREmptyRows(t *testing.T) {
+	b := NewSparseBuilder(4, 4)
+	b.Add(0, 0, 2)
+	b.Add(3, 1, -1)
+	c := b.ToCSR()
+	if c.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", c.NNZ())
+	}
+	got := c.MulVec([]float64{1, 2, 3, 4})
+	want := []float64{2, 0, 0, -2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVec = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCSRSymmetry(t *testing.T) {
+	b := NewSparseBuilder(3, 3)
+	b.Add(0, 1, 2)
+	b.Add(1, 0, 2)
+	b.Add(0, 0, 1)
+	if !b.ToCSR().IsSymmetric(0) {
+		t.Fatal("symmetric matrix reported asymmetric")
+	}
+	b.Add(2, 0, 5)
+	if b.ToCSR().IsSymmetric(1e-9) {
+		t.Fatal("asymmetric matrix reported symmetric")
+	}
+}
+
+func TestCSRMulVecToAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, _ := randomSparse(rng, 64, 0.1)
+	c := b.ToCSR()
+	x := make([]float64, 64)
+	dst := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	if allocs := testing.AllocsPerRun(100, func() { c.MulVecTo(dst, x) }); allocs != 0 {
+		t.Fatalf("CSR.MulVecTo allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestRCMReducesGridBandwidth(t *testing.T) {
+	// 2D grid Laplacian numbered in the thermal model's natural order
+	// (block si, then block sp) has O(n) bandwidth; RCM must bring it to
+	// O(width).
+	const w, h = 8, 8
+	n := w * h
+	b := NewSparseBuilder(2*n, 2*n)
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := id(x, y)
+			b.Add(i, i, 4)
+			b.Add(n+i, n+i, 4)
+			b.Add(i, n+i, -1) // vertical si→sp
+			b.Add(n+i, i, -1)
+			if x+1 < w {
+				for _, off := range []int{0, n} {
+					b.Add(off+i, off+id(x+1, y), -1)
+					b.Add(off+id(x+1, y), off+i, -1)
+				}
+			}
+			if y+1 < h {
+				for _, off := range []int{0, n} {
+					b.Add(off+i, off+id(x, y+1), -1)
+					b.Add(off+id(x, y+1), off+i, -1)
+				}
+			}
+		}
+	}
+	c := b.ToCSR()
+	natural := BandwidthUnder(c, IdentityOrder(2*n))
+	order := RCMOrder(c)
+
+	seen := make([]bool, 2*n)
+	for _, v := range order {
+		if v < 0 || v >= 2*n || seen[v] {
+			t.Fatalf("RCM ordering is not a permutation: %v", order)
+		}
+		seen[v] = true
+	}
+
+	rcm := BandwidthUnder(c, order)
+	if rcm >= natural {
+		t.Fatalf("RCM bandwidth %d not below natural %d", rcm, natural)
+	}
+	if rcm > 4*w {
+		t.Fatalf("RCM bandwidth %d on a %dx%d grid stack, want O(width)", rcm, w, h)
+	}
+}
+
+func TestRCMDisconnectedComponents(t *testing.T) {
+	b := NewSparseBuilder(6, 6)
+	b.Add(0, 1, -1)
+	b.Add(1, 0, -1)
+	b.Add(4, 5, -1)
+	b.Add(5, 4, -1)
+	order := RCMOrder(b.ToCSR())
+	if len(order) != 6 {
+		t.Fatalf("ordering covers %d of 6 nodes", len(order))
+	}
+	seen := map[int]bool{}
+	for _, v := range order {
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("ordering is not a permutation: %v", order)
+	}
+}

@@ -1,0 +1,126 @@
+package rotation
+
+import (
+	"fmt"
+	"math"
+)
+
+// periodic.go: the matrix-free periodic-steady-state evaluator used when the
+// thermal model runs the sparse backend and therefore offers no eigenbasis.
+//
+// The start-of-period temperature obeys the affine fixed point T* = F(T*)
+// with F one full rotation period of exact epoch steps (thermal.Stepper —
+// in sparse mode the Krylov kernel). F's linear part is E^δ, whose spectral
+// radius r = e^{−λ_min·δ·τ} < 1, so plain iteration converges geometrically
+// with ratio r and the tail after an iterate with update Δ_k obeys
+//
+//	‖T* − T_k‖ ≤ ‖Δ_k‖ · r/(1 − r) ,
+//
+// with r estimated from consecutive update ratios. Because the slowest
+// thermal mode (the heatsink) makes r close to 1 for realistic δ·τ, the
+// iteration is accelerated by periodic Aitken extrapolation: once the ratio
+// has stabilized, T ← T + Δ·r̂/(1 − r̂) jumps along the dominant eigenmode,
+// leaving only the faster-decaying modes. The certified stop criterion is
+// the tail bound above against the calculator's IterTol (default
+// DefaultIterTol). docs/THEORY.md §"Sparse numerics" discusses convergence
+// and when the dense eigenbasis path is preferable.
+
+// maxPeriods bounds the fixed-point iteration; at the default tolerance even
+// a pathological r = 0.999 converges within it, so hitting the cap means the
+// model is non-dissipative (which model construction already rejects).
+const maxPeriods = 200000
+
+// evaluateIterative computes the plan's periodic steady state by fixed-point
+// iteration and walks one period recording epoch boundaries; with
+// subsamples > 1 it additionally samples inside every epoch like
+// EvaluateFine. The plan is already validated.
+func (c *Calculator) evaluateIterative(plan Plan, subsamples int) (*Result, error) {
+	metricEvals.Inc()
+	delta := plan.Delta()
+	N := c.nNodes
+	stepper, err := c.m.NewStepper(plan.Tau)
+	if err != nil {
+		return nil, err
+	}
+
+	t := append([]float64(nil), c.m.AmbientSteady()...)
+	prev := make([]float64, N)
+	prevNorm := math.Inf(1)
+	converged := false
+	for k := 0; k < maxPeriods; k++ {
+		copy(prev, t)
+		for e := 0; e < delta; e++ {
+			stepper.StepTo(t, t, plan.Powers[e])
+		}
+		var nd float64
+		for i := range t {
+			if d := math.Abs(t[i] - prev[i]); d > nd {
+				nd = d
+			}
+		}
+		if nd == 0 {
+			converged = true
+			break
+		}
+		// The update ratio is only meaningful when the previous update came
+		// from a plain (un-extrapolated) period — the first period and the
+		// one after each extrapolation have no valid reference.
+		rValid := !math.IsInf(prevNorm, 1)
+		r := nd / prevNorm
+		prevNorm = nd
+		if rValid && r < 1 {
+			if nd*r/(1-r) < c.iterTol {
+				converged = true
+				break
+			}
+			// Aitken extrapolation along the dominant mode. Only every few
+			// periods: the ratio needs fresh un-extrapolated updates to be
+			// meaningful, and extrapolating on a polluted ratio oscillates.
+			if k%4 == 3 && r > 0.2 {
+				f := r / (1 - r)
+				for i := range t {
+					t[i] += f * (t[i] - prev[i])
+				}
+				prevNorm = math.Inf(1) // next ratio spans the jump; discard it
+			}
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("rotation: periodic steady state did not converge within %d periods (tol %g K)", maxPeriods, c.iterTol)
+	}
+
+	res := &Result{
+		EpochEnd: make([][]float64, delta),
+		Peak:     math.Inf(-1),
+		Start:    append([]float64(nil), t...),
+	}
+	record := func(e int, temps []float64) {
+		for core := 0; core < c.n; core++ {
+			if temps[core] > res.Peak {
+				res.Peak = temps[core]
+				res.PeakEpoch = e
+				res.PeakCore = core
+			}
+		}
+	}
+	if subsamples <= 1 {
+		for e := 0; e < delta; e++ {
+			stepper.StepTo(t, t, plan.Powers[e])
+			res.EpochEnd[e] = append([]float64(nil), t...)
+			record(e, t)
+		}
+		return res, nil
+	}
+	sub, err := c.m.NewStepper(plan.Tau / float64(subsamples))
+	if err != nil {
+		return nil, err
+	}
+	for e := 0; e < delta; e++ {
+		for s := 0; s < subsamples; s++ {
+			sub.StepTo(t, t, plan.Powers[e])
+			record(e, t)
+		}
+		res.EpochEnd[e] = append([]float64(nil), t...)
+	}
+	return res, nil
+}

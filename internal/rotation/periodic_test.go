@@ -1,0 +1,161 @@
+package rotation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/thermal"
+)
+
+// iterPair builds calculators over the same floorplan with the dense
+// eigenbasis path and the sparse iterative path.
+func iterPair(t testing.TB, w, h int, cfg thermal.Config) (*Calculator, *Calculator) {
+	t.Helper()
+	fp := floorplan.MustNew(w, h, 0.0009)
+	cfgD := cfg
+	cfgD.Solver = thermal.SolverDense
+	cfgS := cfg
+	cfgS.Solver = thermal.SolverSparse
+	md, err := thermal.New(fp, cfgD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := thermal.New(fp, cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCalculator(md), NewCalculator(ms)
+}
+
+// TestIterativeMatchesEigenbasis pins the fixed-point evaluator against
+// Algorithm 1's eigenbasis evaluation of the same plans: peak, peak
+// location, start state and every epoch boundary must agree within the
+// iterative tolerance.
+func TestIterativeMatchesEigenbasis(t *testing.T) {
+	cd, cs := iterPair(t, 4, 4, fastConfig())
+	if cd.Iterative() || !cs.Iterative() {
+		t.Fatal("calculator mode detection is wrong")
+	}
+	rng := rand.New(rand.NewSource(31))
+	n := cd.n
+	for trial := 0; trial < 5; trial++ {
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = rng.Float64() * 8
+		}
+		cores := rng.Perm(n)[:3+rng.Intn(4)]
+		plan := Rotate(2e-4, base, cores)
+
+		want, err := cd.Evaluate(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cs.Evaluate(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The iterative tolerance bounds the start-state error; one period
+		// walk from it cannot amplify (the step map is a contraction), and
+		// the thermal backends themselves agree to 1e-9.
+		const tol = 2 * DefaultIterTol
+		if math.Abs(want.Peak-got.Peak) > tol {
+			t.Fatalf("trial %d: peak %.9f (eigen) vs %.9f (iterative)", trial, want.Peak, got.Peak)
+		}
+		for i := range want.Start {
+			if math.Abs(want.Start[i]-got.Start[i]) > tol {
+				t.Fatalf("trial %d: start[%d] differs by %g", trial, i, want.Start[i]-got.Start[i])
+			}
+		}
+		for e := range want.EpochEnd {
+			for i := range want.EpochEnd[e] {
+				if math.Abs(want.EpochEnd[e][i]-got.EpochEnd[e][i]) > tol {
+					t.Fatalf("trial %d: epoch %d node %d differs by %g",
+						trial, e, i, want.EpochEnd[e][i]-got.EpochEnd[e][i])
+				}
+			}
+		}
+	}
+}
+
+// TestIterativeFineMatchesEigenbasis checks the subsampled variant.
+func TestIterativeFineMatchesEigenbasis(t *testing.T) {
+	cd, cs := iterPair(t, 3, 3, fastConfig())
+	base := []float64{8, 1, 6, 1, 7, 1, 5, 1, 4}
+	plan := Rotate(3e-4, base, []int{0, 2, 4, 6})
+	want, err := cd.EvaluateFine(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cs.EvaluateFine(plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want.Peak-got.Peak) > 2*DefaultIterTol {
+		t.Fatalf("fine peak %.9f (eigen) vs %.9f (iterative)", want.Peak, got.Peak)
+	}
+}
+
+// TestRingEvaluatorSparseFallback checks the ring evaluator built over a
+// sparse model delegates to the iterative path and matches the dense ring
+// evaluator.
+func TestRingEvaluatorSparseFallback(t *testing.T) {
+	cd, cs := iterPair(t, 4, 4, fastConfig())
+	red := cd.NewRingEvaluator()
+	res := cs.NewRingEvaluator()
+
+	base := make([]float64, cd.n)
+	for i := range base {
+		base[i] = 1.5
+	}
+	ring := []int{0, 5, 10, 15}
+	slots := []float64{9, 7, 2, 1}
+
+	want, err := red.PeakRingRotation(2e-4, base, ring, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.PeakRingRotation(2e-4, base, ring, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-got) > 2*DefaultIterTol {
+		t.Fatalf("ring peak %.9f (eigen) vs %.9f (fallback)", want, got)
+	}
+
+	// Argument validation must behave identically in fallback mode.
+	if _, err := res.PeakRingRotation(2e-4, base, []int{}, nil); err == nil {
+		t.Fatal("empty ring accepted by fallback")
+	}
+	if _, err := res.PeakRingRotation(2e-4, base, []int{99}, []float64{1}); err == nil {
+		t.Fatal("out-of-range ring core accepted by fallback")
+	}
+}
+
+// TestIterativeAgainstBruteForce ties the iterative evaluator to the
+// mode-agnostic brute-force reference on a sparse model.
+func TestIterativeAgainstBruteForce(t *testing.T) {
+	fp := floorplan.MustNew(3, 3, 0.0009)
+	cfg := fastConfig()
+	cfg.Solver = thermal.SolverSparse
+	m, err := thermal.New(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCalculator(m)
+	base := []float64{9, 1, 5, 1, 8, 1, 3, 1, 6}
+	plan := Rotate(2e-4, base, []int{0, 4, 8})
+
+	want, err := c.BruteForcePeak(plan, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PeakTemperature(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(want-got) > 1e-4 {
+		t.Fatalf("iterative peak %.6f, brute force %.6f", got, want)
+	}
+}

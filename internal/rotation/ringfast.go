@@ -37,8 +37,16 @@ type RingEvaluator struct {
 	coreT []float64   // core temperatures at one epoch boundary
 }
 
-// NewRingEvaluator precomputes the design-time constants.
+// NewRingEvaluator precomputes the design-time constants. Against a
+// sparse-mode model (Calculator.Iterative) there is no eigenbasis to fold
+// into; the evaluator is then a thin adapter whose PeakRingRotation
+// synthesizes the rotation plan and delegates to the calculator's iterative
+// fixed-point path — correct but allocating and far slower, sized for the
+// occasional analysis call rather than the per-epoch scheduling hot loop.
 func (c *Calculator) NewRingEvaluator() *RingEvaluator {
+	if c.Iterative() {
+		return &RingEvaluator{c: c}
+	}
 	N := c.nNodes
 	n := c.n
 	wFull := c.vinv.Mul(c.binv) // N×N; power only enters at core nodes
@@ -90,6 +98,23 @@ func (e *RingEvaluator) PeakRingRotation(tau float64, base []float64, ringCores 
 		if cr < 0 || cr >= n {
 			return 0, fmt.Errorf("rotation: ring core %d out of range", cr)
 		}
+	}
+	if e.wT == nil {
+		// Sparse-mode fallback: materialize the ring schedule as a Plan and
+		// run the iterative evaluator (which counts the evaluation metric).
+		powers := make([][]float64, size)
+		for ep := range powers {
+			p := append([]float64(nil), base...)
+			for i, w := range slotWatts {
+				p[ringCores[(i+ep)%size]] = w
+			}
+			powers[ep] = p
+		}
+		res, err := c.Evaluate(Plan{Tau: tau, Powers: powers})
+		if err != nil {
+			return 0, err
+		}
+		return res.Peak, nil
 	}
 	metricEvals.Inc()
 

@@ -95,32 +95,64 @@ type Result struct {
 // Calculator evaluates rotation plans against a thermal model. Creating a
 // Calculator performs the design-time phase of Algorithm 1; evaluations are
 // then cheap enough for run-time scheduling use.
+//
+// Against a sparse-mode model (thermal.SolverSparse) no eigendecomposition
+// exists, and the calculator evaluates plans by iterating the period map to
+// its fixed point with the model's Krylov stepper instead (periodic.go) —
+// same results within IterTol, higher per-evaluation cost. Iterative()
+// reports which regime is active.
 type Calculator struct {
 	m      *thermal.Model
 	n      int // cores
 	nNodes int
+
+	// Eigenbasis constants (nil when the model is sparse — see Iterative).
 	lambda []float64     // eigenvalues of A⁻¹B (positive)
 	v      *matrix.Dense // eigenvectors of A⁻¹B
 	vinv   *matrix.Dense
 	binv   *matrix.Dense
+
+	iterTol float64 // fixed-point tolerance of the iterative path, K
 }
 
-// NewCalculator runs the design-time phase against model m.
+// DefaultIterTol is the default convergence tolerance (kelvin) of the
+// iterative periodic-steady-state evaluator used against sparse-mode
+// models. The bound is on the start-of-period state error, certified by the
+// geometric tail estimate of evaluateIterative.
+const DefaultIterTol = 1e-7
+
+// NewCalculator runs the design-time phase against model m: the eigenbasis
+// capture in dense mode, nothing beyond bookkeeping in sparse mode.
 func NewCalculator(m *thermal.Model) *Calculator {
-	eig := m.Eigen()
-	return &Calculator{
-		m:      m,
-		n:      m.NumCores(),
-		nNodes: m.NumNodes(),
-		lambda: eig.Lambda,
-		v:      eig.V,
-		vinv:   eig.VInv,
-		binv:   m.BInv(),
+	c := &Calculator{
+		m:       m,
+		n:       m.NumCores(),
+		nNodes:  m.NumNodes(),
+		iterTol: DefaultIterTol,
 	}
+	if eig := m.Eigen(); eig != nil {
+		c.lambda = eig.Lambda
+		c.v = eig.V
+		c.vinv = eig.VInv
+		c.binv = m.BInv()
+	}
+	return c
 }
 
 // Model returns the thermal model the calculator was built for.
 func (c *Calculator) Model() *thermal.Model { return c.m }
+
+// Iterative reports whether the calculator evaluates plans by fixed-point
+// iteration (sparse-mode model) rather than in the eigenbasis.
+func (c *Calculator) Iterative() bool { return c.v == nil }
+
+// SetIterTol overrides the convergence tolerance (kelvin) of the iterative
+// evaluator. It has no effect in eigenbasis mode.
+func (c *Calculator) SetIterTol(tol float64) {
+	if tol > 0 {
+		c.iterTol = tol
+	}
+}
 
 // PeakTemperature returns the peak core temperature (°C) the plan reaches in
 // its periodic steady state, evaluated at epoch boundaries (Algorithm 1,
@@ -134,10 +166,14 @@ func (c *Calculator) PeakTemperature(plan Plan) (float64, error) {
 	return res.Peak, nil
 }
 
-// Evaluate computes the full periodic steady state of the plan.
+// Evaluate computes the full periodic steady state of the plan. Against a
+// sparse-mode model it falls back to fixed-point iteration (periodic.go).
 func (c *Calculator) Evaluate(plan Plan) (*Result, error) {
 	if err := plan.Validate(c.n); err != nil {
 		return nil, err
+	}
+	if c.Iterative() {
+		return c.evaluateIterative(plan, 1)
 	}
 	metricEvals.Inc()
 	delta := plan.Delta()

@@ -23,6 +23,9 @@ func (c *Calculator) EvaluateFine(plan Plan, subsamples int) (*Result, error) {
 	if err := plan.Validate(c.n); err != nil {
 		return nil, err
 	}
+	if c.Iterative() {
+		return c.evaluateIterative(plan, subsamples)
+	}
 	delta := plan.Delta()
 	N := c.nNodes
 	tau := plan.Tau

@@ -23,7 +23,9 @@ func TSPBudget(plat *sim.Platform, active []int, tdtm float64) float64 {
 	}
 	n := plat.NumCores()
 	idle := plat.Power.IdleWatts
-	binv := plat.Thermal.BInv()
+	// CoreInfluence is the core block of B⁻¹ in either solver mode (in
+	// sparse mode BInv() is nil; the block is computed lazily and cached).
+	binv := plat.Thermal.CoreInfluence()
 	amb := plat.Thermal.Ambient()
 
 	activeSet := make([]bool, n)

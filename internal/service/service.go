@@ -41,6 +41,12 @@ type Config struct {
 	// scheduler epoch). 0 means obs.DefaultSpanDepth; negative disables
 	// per-job span tracing (the endpoint answers 404).
 	SpanDepth int
+	// DefaultSolver is applied to specs whose platform.thermal.solver is
+	// empty: "auto", "dense" or "sparse" (thermal.Solver* constants). ""
+	// leaves specs untouched, which means auto selection. The solver is
+	// part of the platform cache key, so two specs differing only in
+	// solver get distinct platforms.
+	DefaultSolver string
 	// Logger receives the server's structured log stream (access lines, job
 	// lifecycle, shutdown). nil means a no-op logger — tests and embedders
 	// that do not care stay quiet.
@@ -298,6 +304,12 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.R
 		return spec, false
 	}
 	spec = spec.WithDefaults()
+	// The service-level solver default fills only specs that left the
+	// choice open; WithDefaults never sets a solver, so the field is still
+	// "" unless the client chose one.
+	if s.cfg.DefaultSolver != "" && spec.Platform.Thermal.Solver == "" {
+		spec.Platform.Thermal.Solver = s.cfg.DefaultSolver
+	}
 	if err := spec.Validate(); err != nil {
 		metricBadRequests.Inc()
 		obs.LoggerFrom(r.Context()).Warn("bad request", "reason", "invalid RunSpec", "error", err.Error())

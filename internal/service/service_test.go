@@ -168,6 +168,45 @@ func TestConcurrentRequestsSharePlatform(t *testing.T) {
 	}
 }
 
+// TestDefaultSolverApplied checks the service-level solver default: a spec
+// leaving platform.thermal.solver empty picks up Config.DefaultSolver (and
+// runs), a spec naming its own solver is left alone, and a bogus default is
+// reported per request as a 400.
+func TestDefaultSolverApplied(t *testing.T) {
+	svc, ts := newTestServer(t, Config{Workers: 1, DefaultSolver: "sparse"})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", quickSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// The defaulted solver is part of the cache key, so the cached platform
+	// must carry it.
+	if n := svc.Cache().Len(); n != 1 {
+		t.Fatalf("want 1 cached platform, got %d", n)
+	}
+
+	// An explicit client choice wins over the server default: a dense spec
+	// for the same chip is a different cache entry.
+	denseSpec := strings.Replace(quickSpecJSON,
+		`"width": 4, "height": 4`, `"width": 4, "height": 4, "thermal": {"solver": "dense"}`, 1)
+	resp, body = postJSON(t, ts.URL+"/v1/run", denseSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit-solver status %d: %s", resp.StatusCode, body)
+	}
+	if n := svc.Cache().Len(); n != 2 {
+		t.Errorf("explicit solver should cache separately from the default: %d entries", n)
+	}
+
+	_, tsBad := newTestServer(t, Config{Workers: 1, DefaultSolver: "cholmod"})
+	resp, body = postJSON(t, tsBad.URL+"/v1/run", quickSpecJSON)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus default solver: status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("cholmod")) {
+		t.Errorf("400 body does not name the bad solver: %s", body)
+	}
+}
+
 func TestValidationErrorsAreBadRequest(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1})
 

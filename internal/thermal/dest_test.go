@@ -1,11 +1,13 @@
 package thermal
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/floorplan"
+	"repro/internal/matrix"
 )
 
 // Tests for the zero-allocation stepping path: StepTo/SteadyStateInto/
@@ -202,5 +204,92 @@ func BenchmarkHotloopStepTo(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.StepTo(temps, temps, p)
+	}
+}
+
+// --- solver scaling baselines (docs/PERFORMANCE.md "Scaling to big chips") --
+
+// benchSolverStepper builds a model at edge×edge with the given solver and
+// returns its stepper plus a state to advance.
+func benchSolverStepper(b *testing.B, edge int, solver string) (*Stepper, []float64, []float64) {
+	b.Helper()
+	fp, err := floorplan.New(edge, edge, 0.0009)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Solver = solver
+	m, err := New(fp, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := m.NewStepper(0.1e-3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, m.InitialTemps(), randPower(rand.New(rand.NewSource(5)), m.NumCores())
+}
+
+// BenchmarkHotloopStepSparse times the matrix-free Krylov transient step at
+// the chip sizes of the scaling study (the 8×8 paper chip stays dense and is
+// covered by BenchmarkHotloopStepTo).
+func BenchmarkHotloopStepSparse(b *testing.B) {
+	for _, edge := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("%dx%d", edge, edge), func(b *testing.B) {
+			s, temps, p := benchSolverStepper(b, edge, SolverSparse)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.StepTo(temps, temps, p)
+			}
+		})
+	}
+}
+
+// BenchmarkHotloopStepDense is the dense per-step cost at the same sizes —
+// the denominator of the sparse speedups pinned in CI. At 16×16 the real
+// dense model is built and stepped. At 32×32 and 64×64 the dense setup is
+// not feasible inside a benchmark run (O(N³) eigendecomposition; the N×N
+// propagator alone is ≈0.5 GB at 64×64), so the per-step cost is measured on
+// a synthetic N×N matrix driving exactly the work a dense StepTo performs:
+// one B⁻¹ matvec (the steady-state solve) plus one propagator matvec, with
+// the O(N) vector ops in between. That is the floor of what the dense path
+// would cost per step if one could afford to build it, so the reported
+// speedup is an underestimate.
+func BenchmarkHotloopStepDense(b *testing.B) {
+	b.Run("16x16", func(b *testing.B) {
+		s, temps, p := benchSolverStepper(b, 16, SolverDense)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.StepTo(temps, temps, p)
+		}
+	})
+	for _, edge := range []int{32, 64} {
+		b.Run(fmt.Sprintf("%dx%d", edge, edge), func(b *testing.B) {
+			N := 2*edge*edge + 1
+			rng := rand.New(rand.NewSource(7))
+			kernel := matrix.New(N, N) // stands in for both B⁻¹ and e^{C·dt}
+			for i := 0; i < N; i++ {
+				for j := 0; j < N; j++ {
+					kernel.Set(i, j, rng.Float64()*1e-3)
+				}
+			}
+			temps := make([]float64, N)
+			tss := make([]float64, N)
+			diff := make([]float64, N)
+			p := make([]float64, N)
+			for i := range p {
+				p[i] = rng.Float64() * 8
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel.MulVecTo(tss, p)
+				matrix.VecSubTo(diff, temps, tss)
+				kernel.MulVecTo(temps, diff)
+				matrix.VecAddTo(temps, tss)
+			}
+		})
 	}
 }

@@ -10,10 +10,49 @@ package thermal
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/floorplan"
 	"repro/internal/matrix"
 )
+
+// Solver backend names accepted by Config.Solver. The empty string is
+// equivalent to SolverAuto, so a zero Config keeps selecting sensibly.
+const (
+	// SolverAuto picks SolverDense below SparseAutoNodeThreshold nodes and
+	// SolverSparse above it.
+	SolverAuto = "auto"
+	// SolverDense factorizes B densely (Cholesky inverse + generalized
+	// eigendecomposition) — exact propagator, O(N²) per step, O(N³) setup.
+	// The oracle the sparse path is differentially tested against.
+	SolverDense = "dense"
+	// SolverSparse keeps B as CSR with a banded-arrowhead Cholesky for
+	// steady states and a Krylov expm·v transient kernel — O(nnz·m) per
+	// step, never materializing an N×N matrix. Required for big chips
+	// (64×64 dense would need ≥ 0.5 GB per matrix and an infeasible
+	// eigendecomposition).
+	SolverSparse = "sparse"
+)
+
+// SparseAutoNodeThreshold is the node count above which SolverAuto selects
+// the sparse backend: 8×8 chips (N = 129) stay dense, 16×16 (N = 513) and
+// larger go sparse. The crossover is measured in docs/PERFORMANCE.md.
+const SparseAutoNodeThreshold = 512
+
+// resolveSolver maps a validated Config.Solver to the concrete backend.
+func resolveSolver(choice string, nodes int) string {
+	switch choice {
+	case SolverDense:
+		return SolverDense
+	case SolverSparse:
+		return SolverSparse
+	default: // "" or SolverAuto (validate rejects the rest)
+		if nodes > SparseAutoNodeThreshold {
+			return SolverSparse
+		}
+		return SolverDense
+	}
+}
 
 // Config holds the RC network parameters. Values are calibrated such that a
 // Table I style core (0.81 mm², 4 GHz, ≈8 W compute-bound) reaches ≈80 °C
@@ -37,6 +76,14 @@ type Config struct {
 	GSinkAmbientPerCore float64 `json:"g_sink_ambient_per_core"` // heatsink → ambient, scales with chip size
 
 	Ambient float64 `json:"ambient"` // ambient temperature, °C (paper §VI: 45)
+
+	// Solver selects the numerical backend: SolverDense, SolverSparse, or
+	// SolverAuto / "" to pick by platform size (sparse above
+	// SparseAutoNodeThreshold nodes). Both backends agree to ≤ 1e-9 K on
+	// every query — the equivalence the golden differential tests pin —
+	// but in sparse mode the dense artifacts (BInv, Eigen, Propagator)
+	// are nil; see those methods.
+	Solver string `json:"solver,omitempty"`
 }
 
 // DefaultConfig returns the calibrated model parameters.
@@ -55,7 +102,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// Model is a compact RC thermal model over a floorplan.
+// Model is a compact RC thermal model over a floorplan. Which factorization
+// it carries depends on the resolved solver backend (Solver()): dense mode
+// holds B, B⁻¹ and the generalized eigendecomposition; sparse mode holds a
+// CSR conductance matrix with a banded-arrowhead Cholesky and no N×N
+// artifacts at all. Either way a Model is immutable after construction and
+// freely shareable between goroutines.
 type Model struct {
 	fp  *floorplan.Floorplan
 	cfg Config
@@ -63,14 +115,24 @@ type Model struct {
 	n int // cores
 	N int // thermal nodes = 2n + 1
 
-	aDiag []float64     // A: diagonal thermal capacitance matrix
-	b     *matrix.Dense // B: symmetric conductance matrix
-	g     []float64     // G: conductance to ambient per node
+	solver string // resolved backend: SolverDense or SolverSparse
 
+	aDiag []float64 // A: diagonal thermal capacitance matrix
+	g     []float64 // G: conductance to ambient per node
+
+	// Dense-mode artifacts (nil in sparse mode).
+	b    *matrix.Dense            // B: symmetric conductance matrix
 	binv *matrix.Dense            // B⁻¹ (used by Eq. 3 and the rotation math)
 	eig  *matrix.GeneralizedEigen // factorization of A⁻¹B (λ > 0)
 
+	// Sparse-mode artifacts (nil in dense mode).
+	sp *sparseSolver
+
 	steadyAmbient []float64 // B⁻¹·T_amb·G — the all-idle steady state
+
+	// Lazily computed core block of B⁻¹ (CoreInfluence).
+	coreInflOnce sync.Once
+	coreInfl     *matrix.Dense
 }
 
 // New builds and factorizes the RC model for the given floorplan.
@@ -80,23 +142,53 @@ func New(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 	}
 	n := fp.NumCores()
 	m := &Model{fp: fp, cfg: cfg, n: n, N: 2*n + 1}
-	m.build()
-
-	// B is SPD by construction; Cholesky both certifies that and inverts it
-	// faster than LU.
-	chol, err := matrix.FactorCholesky(m.b)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: conductance matrix not SPD: %w", err)
+	if err := m.finish(m.build()); err != nil {
+		return nil, err
 	}
-	if m.binv, err = chol.Inverse(); err != nil {
-		return nil, fmt.Errorf("thermal: inverting conductance matrix: %w", err)
-	}
-	m.eig, err = matrix.SymDefEigen(m.aDiag, m.b)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: eigendecomposition failed: %w", err)
-	}
-	m.steadyAmbient = matrix.VecScale(cfg.Ambient, m.binv.MulVec(m.g))
 	return m, nil
+}
+
+// finish factorizes the assembled conductance matrix under the resolved
+// solver backend and precomputes the all-idle steady state. Shared by New
+// and NewStacked.
+func (m *Model) finish(builder *matrix.SparseBuilder) error {
+	m.solver = resolveSolver(m.cfg.Solver, m.N)
+	if m.solver == SolverSparse {
+		sp, err := newSparseSolver(builder.ToCSR(), m.aDiag)
+		if err != nil {
+			return err
+		}
+		m.sp = sp
+	} else {
+		m.b = builder.ToDense()
+		// B is SPD by construction; Cholesky both certifies that and
+		// inverts it faster than LU.
+		chol, err := matrix.FactorCholesky(m.b)
+		if err != nil {
+			return fmt.Errorf("thermal: conductance matrix not SPD: %w", err)
+		}
+		if m.binv, err = chol.Inverse(); err != nil {
+			return fmt.Errorf("thermal: inverting conductance matrix: %w", err)
+		}
+		if m.eig, err = matrix.SymDefEigen(m.aDiag, m.b); err != nil {
+			return fmt.Errorf("thermal: eigendecomposition failed: %w", err)
+		}
+	}
+	m.steadyAmbient = m.solveB(matrix.VecScale(m.cfg.Ambient, m.g))
+	return nil
+}
+
+// solveB solves B·x = p, allocating the result — the mode-agnostic solve
+// both backends provide (dense: precomputed inverse; sparse: banded
+// arrowhead Cholesky). Hot paths use Stepper.SteadyStateInto instead.
+func (m *Model) solveB(p []float64) []float64 {
+	out := make([]float64, m.N)
+	if m.sp != nil {
+		m.sp.solveInto(out, p, make([]float64, m.N-1))
+	} else {
+		m.binv.MulVecTo(out, p)
+	}
+	return out
 }
 
 func validate(cfg Config) error {
@@ -122,21 +214,36 @@ func validate(cfg Config) error {
 	if cfg.GSpreaderEdgeBonus < 0 {
 		return fmt.Errorf("thermal: spreader edge bonus must be non-negative, got %g", cfg.GSpreaderEdgeBonus)
 	}
-	return nil
+	return ValidateSolver(cfg.Solver)
 }
 
-// build assembles A, B and G. B is a weighted graph Laplacian plus the
-// ambient conductance on the sink's diagonal, hence symmetric positive
+// ValidateSolver checks a Config.Solver value. "" is accepted as SolverAuto.
+// It is exported so declarative layers (RunSpec validation, CLI flags) can
+// reject a bad solver name with the same message model construction would.
+func ValidateSolver(name string) error {
+	switch name {
+	case "", SolverAuto, SolverDense, SolverSparse:
+		return nil
+	default:
+		return fmt.Errorf("thermal: unknown solver %q (want %q, %q or %q)",
+			name, SolverAuto, SolverDense, SolverSparse)
+	}
+}
+
+// build assembles A, B and G, emitting B as sparse triplets so either
+// backend can finalize it (finish). B is a weighted graph Laplacian plus
+// the ambient conductance on the sink's diagonal, hence symmetric positive
 // definite; the corresponding entry of G carries the same conductance so
-// that zero power yields T = ambient everywhere.
-func (m *Model) build() {
+// that zero power yields T = ambient everywhere. The sink is the last node
+// — the arrowhead invariant the sparse backend relies on.
+func (m *Model) build() *matrix.SparseBuilder {
 	n := m.n
 	N := m.N
 	sink := 2 * n
 
 	m.aDiag = make([]float64, N)
 	m.g = make([]float64, N)
-	m.b = matrix.New(N, N)
+	bb := matrix.NewSparseBuilder(N, N)
 
 	for i := 0; i < n; i++ {
 		m.aDiag[i] = m.cfg.SiCapacitance
@@ -148,10 +255,10 @@ func (m *Model) build() {
 		if g == 0 {
 			return
 		}
-		m.b.Add(i, j, -g)
-		m.b.Add(j, i, -g)
-		m.b.Add(i, i, g)
-		m.b.Add(j, j, g)
+		bb.Add(i, j, -g)
+		bb.Add(j, i, -g)
+		bb.Add(i, i, g)
+		bb.Add(j, j, g)
 	}
 
 	for i := 0; i < n; i++ {
@@ -171,8 +278,9 @@ func (m *Model) build() {
 	}
 
 	gAmb := m.cfg.GSinkAmbientPerCore * float64(n)
-	m.b.Add(sink, sink, gAmb)
+	bb.Add(sink, sink, gAmb)
 	m.g[sink] = gAmb
+	return bb
 }
 
 // NumCores returns the number of cores n.
@@ -194,11 +302,67 @@ func (m *Model) ADiag() []float64 {
 	return out
 }
 
-// B returns a copy of the conductance matrix.
-func (m *Model) B() *matrix.Dense { return m.b.Clone() }
+// Solver returns the resolved solver backend, SolverDense or SolverSparse
+// (auto selection already applied).
+func (m *Model) Solver() string { return m.solver }
 
-// BInv returns the precomputed B⁻¹. The caller must not modify it.
+// B returns a copy of the conductance matrix as a dense N×N matrix. In
+// sparse mode this materializes the CSR — O(N²) memory — so it is meant for
+// tests and small-model inspection; hot paths use SparseB or the solver
+// methods instead.
+func (m *Model) B() *matrix.Dense {
+	if m.sp != nil {
+		return m.sp.bs.ToDense()
+	}
+	return m.b.Clone()
+}
+
+// SparseB returns the conductance matrix in CSR form, or nil in dense mode.
+// The caller must not modify it (CSR is immutable; this is shared state).
+func (m *Model) SparseB() *matrix.CSR {
+	if m.sp == nil {
+		return nil
+	}
+	return m.sp.bs
+}
+
+// BInv returns the precomputed B⁻¹, or nil in sparse mode, where the
+// inverse is never materialized — use CoreInfluence for the core block, or
+// Stepper.SteadyStateInto / SteadyState for solves. The caller must not
+// modify it.
 func (m *Model) BInv() *matrix.Dense { return m.binv }
+
+// CoreInfluence returns the n×n core block of B⁻¹: entry (i, j) is the
+// steady-state temperature rise of core i per watt on core j. It is
+// computed lazily on first call — free in dense mode, n banded solves in
+// sparse mode — then cached; safe for concurrent callers. The caller must
+// not modify the returned matrix.
+func (m *Model) CoreInfluence() *matrix.Dense {
+	m.coreInflOnce.Do(func() {
+		inf := matrix.New(m.n, m.n)
+		if m.sp == nil {
+			for i := 0; i < m.n; i++ {
+				for j := 0; j < m.n; j++ {
+					inf.Set(i, j, m.binv.At(i, j))
+				}
+			}
+		} else {
+			p := make([]float64, m.N)
+			x := make([]float64, m.N)
+			scratch := make([]float64, m.N-1)
+			for j := 0; j < m.n; j++ {
+				p[j] = 1
+				m.sp.solveInto(x, p, scratch)
+				p[j] = 0
+				for i := 0; i < m.n; i++ {
+					inf.Set(i, j, x[i])
+				}
+			}
+		}
+		m.coreInfl = inf
+	})
+	return m.coreInfl
+}
 
 // G returns a copy of the ambient conductance vector.
 func (m *Model) G() []float64 {
@@ -208,8 +372,11 @@ func (m *Model) G() []float64 {
 }
 
 // Eigen returns the factorization of A⁻¹B: positive eigenvalues Lambda,
-// eigenvectors V and V⁻¹. The eigenvalues of C = −A⁻¹B are −Lambda.
-// Callers must not modify the returned value.
+// eigenvectors V and V⁻¹. The eigenvalues of C = −A⁻¹B are −Lambda. In
+// sparse mode it returns nil — no eigendecomposition exists; transient
+// evaluation goes through the Krylov Stepper and iterative consumers (the
+// rotation calculator) must fall back to stepping. Callers must not modify
+// the returned value.
 func (m *Model) Eigen() *matrix.GeneralizedEigen { return m.eig }
 
 // AmbientSteady returns the all-idle steady state B⁻¹·T_amb·G (= ambient at
@@ -240,10 +407,10 @@ func (m *Model) ExtendPowerInto(dst, coreWatts []float64) {
 }
 
 // SteadyState solves Eq. 3: T_steady = B⁻¹P + B⁻¹·T_amb·G for a per-core
-// power vector, returning the temperature of all N nodes in °C.
+// power vector, returning the temperature of all N nodes in °C. Works in
+// both solver modes; the zero-allocation twin is Stepper.SteadyStateInto.
 func (m *Model) SteadyState(coreWatts []float64) []float64 {
-	p := m.ExtendPower(coreWatts)
-	t := m.binv.MulVec(p)
+	t := m.solveB(m.ExtendPower(coreWatts))
 	matrix.VecAddTo(t, m.steadyAmbient)
 	return t
 }

@@ -1,0 +1,183 @@
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// sparse.go implements the large-platform solver backend: the conductance
+// matrix B is kept as CSR for matrix–vector products, its steady-state
+// solves go through a banded Cholesky factorization with the sink node
+// eliminated as an arrowhead border, and the transient propagator is a
+// matrix-free Krylov expm·v kernel over the whitened operator
+// Â = −A^{−1/2}·B·A^{−1/2}. Nothing of size N×N is ever materialized.
+// docs/THEORY.md §"Sparse numerics" derives the structure; the decision
+// table for dense vs sparse lives there too.
+//
+// Structure being exploited: B is a weighted graph Laplacian over the
+// si/spreader grid — O(N) non-zeros, bandwidth O(grid width) under an RCM
+// ordering — except for the sink node, which couples to every spreader cell
+// and would ruin any bandwidth. Ordering the sink last turns B into an
+// arrowhead matrix
+//
+//	B = P̃ᵀ · [ K  c ] · P̃ ,   K the RCM-permuted head block (banded SPD),
+//	          [ cᵀ d ]         c the sink couplings, d the sink diagonal,
+//
+// whose Cholesky factor is [[L, 0], [lᵀ, λ]] with L = chol(K), l = L⁻¹c and
+// λ = √(d − lᵀl) — one extra triangular solve at factorization time, two
+// dot products per solve after that.
+type sparseSolver struct {
+	n  int         // thermal nodes N (sink = N−1 by model construction)
+	bs *matrix.CSR // full B, CSR — the matvec substrate of the Krylov kernel
+
+	// Whitening diagonals: sqrtA[i] = √a_i, invSqrtA[i] = 1/√a_i.
+	sqrtA, invSqrtA []float64
+
+	// Arrowhead banded factorization of the head block (nodes 0..N−2).
+	order    []int // order[k] = head node placed at banded position k
+	chol     *matrix.BandedCholesky
+	arrowL   []float64 // l = L⁻¹·c in banded positions
+	arrowLam float64   // λ = √(d − lᵀl), the sink pivot
+}
+
+// newSparseSolver builds the sparse backend from the assembled conductance
+// matrix (node N−1 must be the sink — the only dense-coupled row) and the
+// capacitance diagonal. Factorization failure means B is not SPD, i.e. the
+// model is not dissipative.
+func newSparseSolver(bs *matrix.CSR, aDiag []float64) (*sparseSolver, error) {
+	N := bs.Rows()
+	sink := N - 1
+
+	// Split B into head block, sink couplings c and sink diagonal d. The
+	// head keeps its own builder so RCM sees only the banded structure.
+	head := matrix.NewSparseBuilder(N-1, N-1)
+	c := make([]float64, N-1)
+	var d float64
+	bs.Range(func(i, j int, v float64) {
+		switch {
+		case i == sink && j == sink:
+			d = v
+		case i == sink:
+			c[j] += v // symmetric: the (j, sink) copies carry the same values
+		case j == sink:
+			// counted via the sink row
+		default:
+			head.Add(i, j, v)
+		}
+	})
+	hcsr := head.ToCSR()
+
+	order := matrix.RCMOrder(hcsr)
+	pos := make([]int, N-1)
+	for k, v := range order {
+		pos[v] = k
+	}
+	bw := matrix.BandwidthUnder(hcsr, order)
+	bandK := matrix.NewSymBanded(N-1, bw)
+	hcsr.Range(func(i, j int, v float64) {
+		// Each off-diagonal coupling is stored in both triangles; take
+		// exactly one copy per banded slot.
+		if pi, pj := pos[i], pos[j]; pi > pj || i == j {
+			bandK.Add(pi, pj, v)
+		}
+	})
+
+	chol, err := matrix.FactorBandedCholesky(bandK)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: conductance head block not SPD: %w", err)
+	}
+
+	// Border column of the arrowhead factor: l = L⁻¹·c (in banded positions)
+	// and the sink pivot λ² = d − lᵀl, positive iff B is SPD.
+	cperm := make([]float64, N-1)
+	for k, v := range order {
+		cperm[k] = c[v]
+	}
+	arrowL := make([]float64, N-1)
+	chol.ForwardTo(arrowL, cperm)
+	lam2 := d - matrix.Dot(arrowL, arrowL)
+	if lam2 <= 0 {
+		return nil, fmt.Errorf("thermal: conductance matrix not SPD (sink Schur complement %g)", lam2)
+	}
+
+	sqrtA := make([]float64, N)
+	invSqrtA := make([]float64, N)
+	for i, a := range aDiag {
+		s := math.Sqrt(a)
+		sqrtA[i] = s
+		invSqrtA[i] = 1 / s
+	}
+
+	return &sparseSolver{
+		n: N, bs: bs,
+		sqrtA: sqrtA, invSqrtA: invSqrtA,
+		order: order, chol: chol,
+		arrowL: arrowL, arrowLam: math.Sqrt(lam2),
+	}, nil
+}
+
+// solveInto solves B·x = p into dst in O(N·k) with no allocation. scratch
+// must have length N−1 and must alias neither dst nor p; dst may alias p
+// (all of p is read before dst is written).
+func (s *sparseSolver) solveInto(dst, p, scratch []float64) {
+	N := s.n
+	if len(dst) != N || len(p) != N {
+		panic(fmt.Sprintf("thermal: sparse solve got dst %d, rhs %d, want %d", len(dst), len(p), N))
+	}
+	if len(scratch) != N-1 {
+		panic(fmt.Sprintf("thermal: sparse solve scratch length %d, want %d", len(scratch), N-1))
+	}
+	// Forward sweep of the arrowhead factor: L·z_h = b_h, then the border
+	// row λ·z_s = b_s − lᵀ·z_h.
+	for k := 0; k < N-1; k++ {
+		scratch[k] = p[s.order[k]]
+	}
+	s.chol.ForwardTo(scratch, scratch)
+	zs := (p[N-1] - matrix.Dot(s.arrowL, scratch)) / s.arrowLam
+	// Backward sweep: λ·x_s = z_s, then Lᵀ·x_h = z_h − l·x_s.
+	xs := zs / s.arrowLam
+	for k := 0; k < N-1; k++ {
+		scratch[k] -= s.arrowL[k] * xs
+	}
+	s.chol.BackwardTo(scratch, scratch)
+	for k := 0; k < N-1; k++ {
+		dst[s.order[k]] = scratch[k]
+	}
+	dst[N-1] = xs
+}
+
+// bandwidth returns the half-bandwidth of the factored head block — a
+// diagnostic for tests and the performance docs.
+func (s *sparseSolver) bandwidth() int { return s.chol.Bandwidth() }
+
+// whitenedOp is the symmetric negative semidefinite operator
+// Â = −A^{−1/2}·B·A^{−1/2} as a matrix-free matrix.SymOp: one CSR matvec
+// plus two diagonal scalings per application, O(nnz). It owns matvec
+// scratch, so — like the Stepper that embeds it — it is confined to one
+// goroutine at a time; the CSR and diagonals it reads stay shared.
+type whitenedOp struct {
+	bs       *matrix.CSR
+	invSqrtA []float64
+	tmp      []float64
+}
+
+func newWhitenedOp(s *sparseSolver) *whitenedOp {
+	return &whitenedOp{bs: s.bs, invSqrtA: s.invSqrtA, tmp: make([]float64, s.n)}
+}
+
+// Dim returns the operator dimension N.
+func (o *whitenedOp) Dim() int { return len(o.invSqrtA) }
+
+// MulVecTo computes dst = Â·x with no allocation; dst must not alias x
+// (the matrix.SymOp contract).
+func (o *whitenedOp) MulVecTo(dst, x []float64) {
+	for i, v := range x {
+		o.tmp[i] = o.invSqrtA[i] * v
+	}
+	o.bs.MulVecTo(dst, o.tmp)
+	for i := range dst {
+		dst[i] *= -o.invSqrtA[i]
+	}
+}

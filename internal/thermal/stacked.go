@@ -54,27 +54,16 @@ func NewStacked(fp *floorplan.Floorplan, cfg StackedConfig) (*Model, error) {
 	nPer := fp.NumCores()
 	n := cfg.Layers * nPer
 	m := &Model{fp: fp, cfg: cfg.Config, n: n, N: n + nPer + 1}
-	m.buildStacked(cfg, nPer)
-
-	// B is SPD by construction; Cholesky both certifies that and inverts it
-	// faster than LU.
-	chol, err := matrix.FactorCholesky(m.b)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: stacked conductance matrix not SPD: %w", err)
+	if err := m.finish(m.buildStacked(cfg, nPer)); err != nil {
+		return nil, fmt.Errorf("thermal: stacked model: %w", err)
 	}
-	if m.binv, err = chol.Inverse(); err != nil {
-		return nil, fmt.Errorf("thermal: inverting stacked conductance matrix: %w", err)
-	}
-	if m.eig, err = matrix.SymDefEigen(m.aDiag, m.b); err != nil {
-		return nil, fmt.Errorf("thermal: stacked eigendecomposition failed: %w", err)
-	}
-	m.steadyAmbient = matrix.VecScale(cfg.Ambient, m.binv.MulVec(m.g))
 	return m, nil
 }
 
-// buildStacked assembles A, B and G for the 3D stack. Node layout:
+// buildStacked assembles A, B and G for the 3D stack, emitting B as sparse
+// triplets (see Model.build). Node layout:
 // [layer 0 cores | layer 1 cores | ... | spreader (nPer) | sink].
-func (m *Model) buildStacked(cfg StackedConfig, nPer int) {
+func (m *Model) buildStacked(cfg StackedConfig, nPer int) *matrix.SparseBuilder {
 	layers := cfg.Layers
 	n := m.n
 	N := m.N
@@ -83,7 +72,7 @@ func (m *Model) buildStacked(cfg StackedConfig, nPer int) {
 
 	m.aDiag = make([]float64, N)
 	m.g = make([]float64, N)
-	m.b = matrix.New(N, N)
+	bb := matrix.NewSparseBuilder(N, N)
 
 	for l := 0; l < layers; l++ {
 		for i := 0; i < nPer; i++ {
@@ -99,10 +88,10 @@ func (m *Model) buildStacked(cfg StackedConfig, nPer int) {
 		if g == 0 {
 			return
 		}
-		m.b.Add(i, j, -g)
-		m.b.Add(j, i, -g)
-		m.b.Add(i, i, g)
-		m.b.Add(j, j, g)
+		bb.Add(i, j, -g)
+		bb.Add(j, i, -g)
+		bb.Add(i, i, g)
+		bb.Add(j, j, g)
 	}
 
 	for l := 0; l < layers; l++ {
@@ -135,8 +124,9 @@ func (m *Model) buildStacked(cfg StackedConfig, nPer int) {
 	}
 
 	gAmb := cfg.GSinkAmbientPerCore * float64(nPer)
-	m.b.Add(sink, sink, gAmb)
+	bb.Add(sink, sink, gAmb)
 	m.g[sink] = gAmb
+	return bb
 }
 
 // LayerOf returns the layer index of core id in a stacked model built over a

@@ -6,24 +6,40 @@ import (
 	"repro/internal/matrix"
 )
 
+// stepKrylovTol is the per-step relative error target the sparse stepper
+// hands the Krylov kernel; see NewStepper for why it undercuts
+// matrix.DefaultKrylovTol.
+const stepKrylovTol = 1e-14
+
 // Stepper advances the transient thermal state with a fixed step dt using the
 // exact matrix-exponential solution of Eq. 4 (the MatEx method [22]):
 //
 //	T(t+dt) = T_steady(P) + e^{C·dt} (T(t) − T_steady(P))
 //
-// e^{C·dt} is computed once from the model's eigendecomposition, so each step
-// costs one matrix–vector product (O(N²)). The solution is exact for power
-// held constant over the step — the interval-simulation contract.
+// In dense mode e^{C·dt} is computed once from the model's
+// eigendecomposition, so each step costs one matrix–vector product (O(N²)).
+// In sparse mode the propagator is never materialized: the difference term
+// is whitened to v̂ = A^{1/2}(T − T_steady), e^{Ĉ·dt}·v̂ is evaluated by the
+// matrix-free Krylov kernel (matrix.KrylovExpm over Â = −A^{−1/2}BA^{−1/2},
+// a similarity transform of C), and the result unwhitened — O(nnz·m) per
+// step with subspace dimension m chosen adaptively against
+// matrix.DefaultKrylovTol. Both paths are exact for power held constant
+// over the step, agreeing to well below the 1e-9 K golden bound — the
+// interval-simulation contract.
 //
 // A Stepper owns a scratch block that StepTo and SteadyStateInto reuse, so
-// the per-step hot path allocates nothing. The scratch makes a Stepper NOT
-// goroutine-safe: build one per worker (they are cheap next to the model's
-// eigendecomposition), per the run-state rule of docs/CONCURRENCY.md. The
-// underlying Model remains freely shareable.
+// the per-step hot path allocates nothing in either mode. The scratch makes
+// a Stepper NOT goroutine-safe: build one per worker (they are cheap next
+// to the model's factorization), per the run-state rule of
+// docs/CONCURRENCY.md. The underlying Model remains freely shareable.
 type Stepper struct {
 	m   *Model
 	dt  float64
-	exp *matrix.Dense // e^{C·dt}
+	exp *matrix.Dense // e^{C·dt}; nil in sparse mode
+
+	// Sparse-mode kernel (nil in dense mode).
+	kry          *matrix.KrylovExpm
+	solveScratch []float64 // banded-solve scratch, length N−1
 
 	// Scratch reused by StepTo/SteadyStateInto (never escapes a call).
 	p    []float64 // extended power vector, length N
@@ -31,19 +47,33 @@ type Stepper struct {
 	diff []float64 // T − T_steady, length N
 }
 
-// NewStepper precomputes the propagator for step size dt (seconds).
+// NewStepper precomputes the transient kernel for step size dt (seconds):
+// the dense propagator e^{C·dt}, or in sparse mode the Krylov scratch (the
+// step size is then only used at evaluation time).
 func (m *Model) NewStepper(dt float64) (*Stepper, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("thermal: step size must be positive, got %g", dt)
 	}
-	negLambda := matrix.VecScale(-1, m.eig.Lambda) // eigenvalues of C
-	exp := matrix.ExpmEigen(m.eig.V, negLambda, m.eig.VInv, dt)
-	return &Stepper{
-		m: m, dt: dt, exp: exp,
+	s := &Stepper{
+		m: m, dt: dt,
 		p:    make([]float64, m.N),
 		tss:  make([]float64, m.N),
 		diff: make([]float64, m.N),
-	}, nil
+	}
+	if m.sp != nil {
+		// Tighter than matrix.DefaultKrylovTol: the estimate lives in the
+		// whitened space, where unwhitening by A^{−1/2} can amplify it by
+		// max 1/√a_ii (small silicon capacitances), and step errors
+		// accumulate over a trajectory. Two extra orders keep long
+		// trajectories inside the 1e-9 K dense-equivalence bound for the
+		// cost of about one extra Lanczos dimension per step.
+		s.kry = matrix.NewKrylovExpm(newWhitenedOp(m.sp), 0, stepKrylovTol)
+		s.solveScratch = make([]float64, m.N-1)
+		return s, nil
+	}
+	negLambda := matrix.VecScale(-1, m.eig.Lambda) // eigenvalues of C
+	s.exp = matrix.ExpmEigen(m.eig.V, negLambda, m.eig.VInv, dt)
+	return s, nil
 }
 
 // Dt returns the step size in seconds.
@@ -71,20 +101,44 @@ func (s *Stepper) StepTo(dst, t, coreWatts []float64) {
 	}
 	s.SteadyStateInto(s.tss, coreWatts)
 	matrix.VecSubTo(s.diff, t, s.tss)
-	s.exp.MulVecTo(dst, s.diff)
-	matrix.VecAddTo(dst, s.tss)
+	if s.exp != nil {
+		s.exp.MulVecTo(dst, s.diff)
+		matrix.VecAddTo(dst, s.tss)
+		return
+	}
+	// Sparse path: whiten, propagate in the Krylov subspace, unwhiten.
+	sp := s.m.sp
+	for i, v := range s.diff {
+		s.diff[i] = v * sp.sqrtA[i]
+	}
+	if _, _, err := s.kry.ExpmVTo(s.diff, s.dt, s.diff); err != nil {
+		// Only reachable through non-finite inputs: the whitened operator is
+		// negative semidefinite by construction, where the kernel cannot
+		// fail. Treat like the singular-matrix panics of internal/matrix.
+		panic(fmt.Sprintf("thermal: Krylov propagator failed: %v", err))
+	}
+	for i := range dst {
+		dst[i] = s.diff[i]*sp.invSqrtA[i] + s.tss[i]
+	}
 }
 
 // SteadyStateInto solves Eq. 3 into dst (length N) using the stepper's
 // scratch for the extended power vector; the zero-allocation twin of
-// Model.SteadyState. Not goroutine-safe (see the Stepper doc).
+// Model.SteadyState, in either solver mode. dst must not alias the
+// stepper's scratch. Not goroutine-safe (see the Stepper doc).
 func (s *Stepper) SteadyStateInto(dst, coreWatts []float64) {
 	s.m.ExtendPowerInto(s.p, coreWatts)
-	s.m.binv.MulVecTo(dst, s.p)
+	if s.m.sp != nil {
+		s.m.sp.solveInto(dst, s.p, s.solveScratch)
+	} else {
+		s.m.binv.MulVecTo(dst, s.p)
+	}
 	matrix.VecAddTo(dst, s.m.steadyAmbient)
 }
 
-// Propagator returns e^{C·dt}. The caller must not modify it.
+// Propagator returns e^{C·dt}, or nil in sparse mode, where the propagator
+// is never materialized (the Krylov kernel applies it matrix-free). The
+// caller must not modify it.
 func (s *Stepper) Propagator() *matrix.Dense { return s.exp }
 
 // Transient simulates from the initial node temperatures t0 under a sequence

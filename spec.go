@@ -218,6 +218,9 @@ func (s RunSpec) Validate() error {
 	if s.Platform.DRAMLatency < 0 {
 		errs = append(errs, fmt.Errorf("hotpotato: platform DRAM latency must be non-negative, got %g", s.Platform.DRAMLatency))
 	}
+	if err := thermal.ValidateSolver(s.Platform.Thermal.Solver); err != nil {
+		errs = append(errs, err)
+	}
 
 	if err := s.Sim.Validate(); err != nil {
 		errs = append(errs, err)

@@ -144,6 +144,54 @@ func TestRunSpecValidateReportsAllErrors(t *testing.T) {
 	}
 }
 
+// TestRunSpecSolverValidation checks the declarative solver knob: bad names
+// are rejected by Validate (and by the exported helper the CLIs use), good
+// names pass through to the platform.
+func TestRunSpecSolverValidation(t *testing.T) {
+	spec := fourByFourSpec("hotpotato")
+	spec.Platform.Thermal.Solver = "cholmod"
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cholmod") {
+		t.Fatalf("Validate did not reject solver \"cholmod\": %v", err)
+	}
+	if err := hotpotato.ValidateSolver("cholmod"); err == nil {
+		t.Fatal("ValidateSolver accepted \"cholmod\"")
+	}
+	for _, good := range []string{"", hotpotato.SolverAuto, hotpotato.SolverDense, hotpotato.SolverSparse} {
+		if err := hotpotato.ValidateSolver(good); err != nil {
+			t.Errorf("ValidateSolver(%q) = %v", good, err)
+		}
+		spec.Platform.Thermal.Solver = good
+		if err := spec.Validate(); err != nil {
+			t.Errorf("Validate rejected solver %q: %v", good, err)
+		}
+	}
+}
+
+// TestExecuteSpecSolverEquivalence runs the same spec once per explicit
+// backend: the simulated outcome must agree (the thermal backends agree to
+// 1e-9 K, far inside any scheduling decision margin here).
+func TestExecuteSpecSolverEquivalence(t *testing.T) {
+	run := func(solver string) *hotpotato.Result {
+		t.Helper()
+		spec := fourByFourSpec("hotpotato")
+		spec.Platform.Thermal.Solver = solver
+		res, err := hotpotato.ExecuteSpec(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dense := run(hotpotato.SolverDense)
+	sparse := run(hotpotato.SolverSparse)
+	if d := dense.PeakTemp - sparse.PeakTemp; d > 1e-6 || d < -1e-6 {
+		t.Errorf("peak temperature diverged between backends: dense %.9f, sparse %.9f", dense.PeakTemp, sparse.PeakTemp)
+	}
+	if dense.Makespan != sparse.Makespan || dense.DTMEvents != sparse.DTMEvents || dense.Migrations != sparse.Migrations {
+		t.Errorf("scheduling outcome diverged between backends:\ndense  %+v\nsparse %+v", dense, sparse)
+	}
+}
+
 // TestSchedulerRegistryCoversAllPolicies pins the registry to the full
 // policy set and checks every name constructs.
 func TestSchedulerRegistryCoversAllPolicies(t *testing.T) {
