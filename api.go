@@ -25,6 +25,29 @@
 //	res, _ := hotpotato.Run(plat, hotpotato.DefaultSimConfig(), sched, tasks)
 //	fmt.Printf("makespan %.1f ms, peak %.1f °C\n", res.Makespan*1e3, res.PeakTemp)
 //
+// # The declarative v1 surface
+//
+// Everything above can also be driven by data instead of code. A RunSpec is
+// the JSON description of one run (platform, sim, scheduler, workload
+// sections — the same document POST /v1/run accepts); ExecuteSpec runs it.
+// Specs have a canonical form and a content address:
+//
+//   - Canonicalize normalizes a spec (defaults applied, irrelevant fields
+//     stripped, Version pinned) so that every equivalent spelling of a run
+//     becomes one representation;
+//   - SpecHash hashes that form ("sha256:…") — equal hashes mean equal
+//     runs, which is what makes results cacheable by content and lets the
+//     server answer repeated specs with ETag/304 instead of re-simulating.
+//
+// A SweepSpec lifts one RunSpec into a parameter study: a base document
+// plus axes (platforms, workloads, schedulers, solvers, seeds) whose
+// cross-product ExecuteSweep expands and runs over a bounded worker pool,
+// emitting one SweepCellResult per cell in completion order. The wire
+// records (SweepStarted, SweepResultRecord, SweepProgress, SweepSummary)
+// are shared by `hotpotato-sim -sweep` and the server's streaming
+// POST /v1/batch endpoint. docs/API.md specifies the documents, the
+// hashing contract, and the HTTP surface.
+//
 // # Concurrency and determinism
 //
 // The package follows one contract, spelled out in docs/CONCURRENCY.md:

@@ -42,6 +42,9 @@ func main() {
 	traceDepth := flag.Int("trace-depth", 0, "scheduler epochs retained per async job for /v1/jobs/{id}/trace (0 = 4096, negative = disable)")
 	spanDepth := flag.Int("span-depth", 0, "spans retained per async job for /v1/jobs/{id}/spans (0 = 8192, negative = disable)")
 	solver := flag.String("solver", "", "default thermal solver for specs that leave platform.thermal.solver empty: auto|dense|sparse")
+	resultCache := flag.Int("result-cache-entries", 0, "content-addressed result cache capacity in entries (0 = 256, negative = disable)")
+	maxSweepCells := flag.Int("max-sweep-cells", 0, "largest sweep cross-product /v1/batch accepts (0 = 1024)")
+	batchHeartbeat := flag.Duration("batch-heartbeat", 0, "interval between /v1/batch progress records (0 = 10s, negative = disable)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "json", "log format: json|text")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -63,8 +66,11 @@ func main() {
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
 		JobRetention: *retention, TraceDepth: *traceDepth, SpanDepth: *spanDepth,
-		DefaultSolver: *solver,
-		Logger:        logger,
+		DefaultSolver:      *solver,
+		ResultCacheEntries: *resultCache,
+		MaxSweepCells:      *maxSweepCells,
+		BatchHeartbeat:     *batchHeartbeat,
+		Logger:             logger,
 	})
 	handler := svc.Handler()
 	if *enablePprof {

@@ -7,15 +7,26 @@
 //	hotpotato-sim -sched pcmig -mix 20 -rate 100
 //	hotpotato-sim -sched hotpotato -grid 4 -bench canneal -threads 8 -v
 //	hotpotato-sim -sched hotpotato -bench swaptions -spans spans.jsonl
+//	hotpotato-sim -sweep sweep.json > results.ndjson
+//
+// With -sweep the single-run flags are ignored: the file is a SweepSpec
+// document (base RunSpec + axes) and every cell of its cross-product runs
+// over a bounded worker pool, streaming the same NDJSON records that
+// POST /v1/batch serves — one "sweep" header, one "result" per cell in
+// completion order, and a terminal "summary" — to stdout.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	hotpotato "repro"
 )
@@ -46,6 +57,8 @@ func main() {
 	heatmap := flag.Bool("heatmap", false, "print an ASCII heatmap of the hottest moment")
 	traceOut := flag.String("trace", "", "write one JSON line per scheduler epoch to this file")
 	spansOut := flag.String("spans", "", "write the run's span tree as JSON lines to this file")
+	sweepFile := flag.String("sweep", "", "run a SweepSpec JSON file (\"-\" = stdin) and stream NDJSON results to stdout; ignores the single-run flags")
+	sweepWorkers := flag.Int("sweep-workers", 0, "concurrent cells for -sweep (0 = GOMAXPROCS)")
 	logLevel := flag.String("log-level", "warn", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: json|text")
 	flag.Parse()
@@ -55,6 +68,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *sweepFile != "" {
+		runSweep(*sweepFile, *sweepWorkers)
+		return
 	}
 
 	if err := hotpotato.ValidateSolver(*solver); err != nil {
@@ -219,6 +237,75 @@ func main() {
 				t.ID, t.Benchmark, t.Threads, t.Arrival*1e3, t.Response*1e3)
 		}
 		tw.Flush()
+	}
+}
+
+// runSweep executes a SweepSpec document and streams the wire records —
+// "sweep" header, one "result" per cell in completion order, terminal
+// "summary" — as NDJSON on stdout. Exactly the stream POST /v1/batch serves
+// (minus the request_id and heartbeats, which only matter over HTTP), so the
+// same tooling consumes both. Ctrl-C cancels: in-flight cells stop at their
+// next scheduler epoch and the remainder is reported "canceled", but the
+// stream still ends with its summary.
+func runSweep(path string, workers int) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var sweep hotpotato.SweepSpec
+	if err := json.NewDecoder(in).Decode(&sweep); err != nil {
+		fatal(fmt.Errorf("decoding SweepSpec from %s: %w", path, err))
+	}
+	if err := sweep.Validate(); err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(
+		hotpotato.ContextWithLogger(context.Background(), logger),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	enc := json.NewEncoder(os.Stdout)
+	total := sweep.CellCount()
+	if err := enc.Encode(hotpotato.SweepStarted{Type: "sweep", Total: total}); err != nil {
+		fatal(err)
+	}
+
+	began := time.Now()
+	var completed, failed, canceled int
+	err := hotpotato.ExecuteSweep(ctx, sweep, hotpotato.SweepOptions{Workers: workers},
+		func(r hotpotato.SweepCellResult) {
+			rec := hotpotato.NewSweepResultRecord(r)
+			switch rec.Status {
+			case "ok":
+				completed++
+			case "canceled":
+				canceled++
+			default:
+				failed++
+			}
+			if err := enc.Encode(rec); err != nil {
+				fatal(err)
+			}
+		})
+	if err != nil && ctx.Err() == nil {
+		// Validation or expansion failure: nothing streamed beyond the header.
+		fatal(err)
+	}
+	if err := enc.Encode(hotpotato.SweepSummary{
+		Type: "summary", Total: total, Completed: completed, Failed: failed,
+		Canceled:  canceled,
+		ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
+	}); err != nil {
+		fatal(err)
+	}
+	if failed > 0 || canceled > 0 {
+		os.Exit(1)
 	}
 }
 

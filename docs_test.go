@@ -5,7 +5,10 @@ package hotpotato_test
 // in CI):
 //
 //   - the hotpotato-server flags table in docs/SERVICE.md lists exactly the
-//     flags the binary defines (TestServerFlagsMatchServiceDoc);
+//     flags the binary defines (TestServerFlagsMatchServiceDoc), and the
+//     docs/API.md reference stays equal to the code: its routes table to the
+//     mux registrations, its error-code table to the Code* constants, its
+//     flag mentions to defined flags (TestAPIDoc*);
 //   - every docs-file §-heading reference in Go sources and markdown
 //     resolves to a real heading (TestDocSectionReferencesResolve), and
 //     every relative markdown link and backticked docs-path mention points
@@ -111,6 +114,148 @@ func TestServerFlagsMatchServiceDoc(t *testing.T) {
 		}
 		if cell, ok := doc[name]; ok && !strings.Contains(cell, def) {
 			t.Errorf("docs/SERVICE.md default %q for -%s does not mention the source default %q", cell, name, def)
+		}
+	}
+}
+
+// serviceRoutes parses internal/service/service.go and returns every route
+// pattern registered on the mux ("METHOD /path").
+func serviceRoutes(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/service/service.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != "mux" {
+			return true
+		}
+		if name := sel.Sel.Name; name != "HandleFunc" && name != "Handle" {
+			return true
+		}
+		if lit, ok := call.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			routes[strings.Trim(lit.Value, `"`)] = true
+		}
+		return true
+	})
+	if len(routes) == 0 {
+		t.Fatal("no mux registrations found in internal/service/service.go")
+	}
+	return routes
+}
+
+// apiDocRoutes parses the routes table of docs/API.md: rows of the form
+// `| `METHOD /path` | purpose |`.
+func apiDocRoutes(t *testing.T) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `((?:GET|POST|PUT|DELETE) /[^`]*)` \\|")
+	routes := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			routes[m[1]] = true
+		}
+	}
+	if len(routes) == 0 {
+		t.Fatal("no route rows found in docs/API.md")
+	}
+	return routes
+}
+
+// TestAPIDocRoutesMatchServer keeps the docs/API.md routes table equal to the
+// mux registrations of internal/service — a route added or removed in code
+// must show up here.
+func TestAPIDocRoutesMatchServer(t *testing.T) {
+	src := serviceRoutes(t)
+	doc := apiDocRoutes(t)
+	for r := range src {
+		if !doc[r] {
+			t.Errorf("route %q is registered by internal/service but missing from the docs/API.md routes table", r)
+		}
+	}
+	for r := range doc {
+		if !src[r] {
+			t.Errorf("docs/API.md documents route %q which internal/service does not register", r)
+		}
+	}
+}
+
+// TestAPIDocErrorCodesMatchService keeps the docs/API.md error-code table
+// equal to the Code* string constants of internal/service/errors.go.
+func TestAPIDocErrorCodesMatchService(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "internal/service/errors.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		spec, ok := n.(*ast.ValueSpec)
+		if !ok {
+			return true
+		}
+		for i, name := range spec.Names {
+			if !strings.HasPrefix(name.Name, "Code") || i >= len(spec.Values) {
+				continue
+			}
+			if lit, ok := spec.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				codes[strings.Trim(lit.Value, `"`)] = true
+			}
+		}
+		return true
+	})
+	if len(codes) == 0 {
+		t.Fatal("no Code* constants found in internal/service/errors.go")
+	}
+
+	data, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\| `([a-z_]+)` \\| [0-9]{3} \\|")
+	doc := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := row.FindStringSubmatch(line); m != nil {
+			doc[m[1]] = true
+		}
+	}
+	for c := range codes {
+		if !doc[c] {
+			t.Errorf("error code %q is defined by internal/service but missing from the docs/API.md code table", c)
+		}
+	}
+	for c := range doc {
+		if !codes[c] {
+			t.Errorf("docs/API.md documents error code %q which internal/service does not define", c)
+		}
+	}
+}
+
+// TestAPIDocFlagsExist: every `-flag` mentioned in docs/API.md must be a
+// flag cmd/hotpotato-server actually defines.
+func TestAPIDocFlagsExist(t *testing.T) {
+	src := serverFlags(t)
+	data, err := os.ReadFile("docs/API.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mention := regexp.MustCompile("`-([a-z][a-z-]+)`")
+	for _, m := range mention.FindAllStringSubmatch(string(data), -1) {
+		if _, ok := src[m[1]]; !ok {
+			t.Errorf("docs/API.md mentions flag -%s which cmd/hotpotato-server does not define", m[1])
 		}
 	}
 }

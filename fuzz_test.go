@@ -3,6 +3,7 @@ package hotpotato
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -63,6 +64,87 @@ func FuzzDecodeRunSpec(f *testing.F) {
 		}
 		if err := back.Validate(); err != nil {
 			t.Errorf("round-tripped spec no longer validates: %v\n%s", err, first)
+		}
+
+		// Canonicalization of a valid spec never fails, is idempotent, and
+		// gives the spec its stable content address.
+		canon, err := spec.Canonicalize()
+		if err != nil {
+			t.Fatalf("valid spec does not canonicalize: %v\n%s", err, first)
+		}
+		again, err := canon.Canonicalize()
+		if err != nil {
+			t.Fatalf("canonical spec does not re-canonicalize: %v", err)
+		}
+		if !reflect.DeepEqual(canon, again) {
+			t.Errorf("Canonicalize not idempotent:\nonce:  %+v\ntwice: %+v", canon, again)
+		}
+		h1, err := SpecHash(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not hash: %v", err)
+		}
+		h2, err := SpecHash(back)
+		if err != nil {
+			t.Fatalf("round-tripped spec does not hash: %v", err)
+		}
+		if h1 != h2 {
+			t.Errorf("round trip changed the hash: %s vs %s\n%s", h1, h2, first)
+		}
+	})
+}
+
+// FuzzDecodeSweepSpec throws arbitrary bytes at the SweepSpec wire path — the
+// exact code POST /v1/batch runs on untrusted request bodies. Properties:
+//
+//  1. Decode, CellCount, Validate, and Expand never panic, whatever the input.
+//  2. The expanded cell count always matches the cross-product CellCount
+//     reports (when the sweep is within bounds).
+//  3. Expansion is deterministic: expanding twice yields DeepEqual cells.
+//
+// Expansion is purely structural, so no simulation runs here — a fuzz
+// iteration stays microseconds even for thousands-of-cell documents.
+func FuzzDecodeSweepSpec(f *testing.F) {
+	seeds := []string{
+		// The docs/API.md example sweep.
+		`{"base": {"platform": {"width": 4, "height": 4}}, "axes": {"schedulers": [{"name": "hotpotato"}, {"name": "reactive"}], "seeds": [1, 2, 3]}}`,
+		// Every axis at once.
+		`{"version": "v1", "base": {"workload": {"kind": "random", "count": 2, "rate": 50}}, "axes": {"platforms": [{"width": 4, "height": 4}], "workloads": [{"kind": "homogeneous", "bench": "x264"}], "schedulers": [{"name": "tsp"}], "solvers": ["dense", "sparse"], "seeds": [7]}}`,
+		// Axis-free sweep (one cell), and degenerate inputs.
+		`{"base": {"scheduler": {"name": "rotation"}}}`,
+		`{}`, `null`, `[]`, `{"axes": {"seeds": []}}`,
+		`{"axes": {"solvers": ["bogus"]}}`, `{"version": "v2"}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec SweepSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		count := spec.CellCount()
+		_ = spec.Validate()
+		cells, err := spec.Expand()
+		if err != nil {
+			if count <= MaxSweepCells {
+				t.Fatalf("Expand failed on an in-bounds sweep (%d cells): %v", count, err)
+			}
+			return
+		}
+		if len(cells) != count {
+			t.Errorf("Expand produced %d cells, CellCount says %d", len(cells), count)
+		}
+		for i, cell := range cells {
+			if cell.Index != i {
+				t.Errorf("cell %d carries Index %d", i, cell.Index)
+			}
+		}
+		again, err := spec.Expand()
+		if err != nil {
+			t.Fatalf("second Expand failed: %v", err)
+		}
+		if !reflect.DeepEqual(cells, again) {
+			t.Error("Expand is not deterministic")
 		}
 	})
 }

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	hotpotato "repro"
+	"repro/internal/obs"
+)
+
+// batchStream serializes the NDJSON (or SSE) records of one /v1/batch
+// response. Every record is flushed immediately — the whole point of the
+// endpoint is that cell results arrive as they finish, not at the end.
+type batchStream struct {
+	mu  sync.Mutex
+	w   http.ResponseWriter
+	f   http.Flusher
+	sse bool
+}
+
+func newBatchStream(w http.ResponseWriter, sse bool) *batchStream {
+	f, _ := w.(http.Flusher)
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	return &batchStream{w: w, f: f, sse: sse}
+}
+
+// send writes one record. typ is the SSE event name; NDJSON carries the same
+// discriminator inside the record's "type" field.
+func (b *batchStream) send(typ string, rec any) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sse {
+		fmt.Fprintf(b.w, "event: %s\ndata: %s\n\n", typ, body)
+	} else {
+		b.w.Write(body)
+		b.w.Write([]byte("\n"))
+	}
+	if b.f != nil {
+		b.f.Flush()
+	}
+}
+
+// wantsSSE reports whether the request negotiated Server-Sent Events; the
+// default (and anything ambiguous) is NDJSON.
+func wantsSSE(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// handleBatch streams a sweep: it expands the SweepSpec cross-product,
+// admission-checks the cell count, then executes every cell over the shared
+// worker semaphore — each cell through the result cache, so repeated cells
+// (and re-posted sweeps) replay instead of re-simulating. Records go out in
+// completion order as NDJSON lines (or SSE events via Accept:
+// text/event-stream): one "sweep" header, one "result" per cell, periodic
+// "progress" heartbeats, and a terminal "summary". A client disconnect
+// cancels the request context, which stops in-flight cells within one
+// scheduler epoch and fails the rest immediately.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server shutting down"))
+		return
+	}
+	var sweep hotpotato.SweepSpec
+	if err := json.NewDecoder(r.Body).Decode(&sweep); err != nil {
+		metricBadRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding SweepSpec: %w", err))
+		return
+	}
+	if err := sweep.Validate(); err != nil {
+		metricBadRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if n := sweep.CellCount(); n > s.cfg.MaxSweepCells {
+		metricBatchRejected.Inc()
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("sweep expands to %d cells, server limit is %d", n, s.cfg.MaxSweepCells))
+		return
+	}
+	cells, err := sweep.Expand()
+	if err != nil {
+		// Unreachable after the admission check, but fail closed.
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	for i := range cells {
+		if s.cfg.DefaultSolver != "" && cells[i].Spec.Platform.Thermal.Solver == "" {
+			cells[i].Spec.Platform.Thermal.Solver = s.cfg.DefaultSolver
+		}
+	}
+
+	// The sweep dies with the request (client disconnect) or the server
+	// (shutdown force-cancel), whichever comes first — same rule as /v1/run.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	defer context.AfterFunc(s.baseCtx, cancel)()
+
+	s.runs.Add(1)
+	defer s.runs.Done()
+
+	metricBatchRequests.Inc()
+	requestID := requestIDFrom(r.Context())
+	logger := obs.LoggerFrom(r.Context())
+	logger.Info("batch started", "cells", len(cells), "sse", wantsSSE(r))
+
+	stream := newBatchStream(w, wantsSSE(r))
+	began := time.Now()
+	stream.send("sweep", hotpotato.SweepStarted{Type: "sweep", Total: len(cells), RequestID: requestID})
+
+	var done atomic.Int64
+	if s.cfg.BatchHeartbeat > 0 {
+		tick := time.NewTicker(s.cfg.BatchHeartbeat)
+		defer tick.Stop()
+		hbCtx, hbStop := context.WithCancel(ctx)
+		hbDone := make(chan struct{})
+		// Join the heartbeat goroutine before the handler returns — a send
+		// racing the server's end-of-request work on the ResponseWriter is
+		// undefined behavior.
+		defer func() { hbStop(); <-hbDone }()
+		go func() {
+			defer close(hbDone)
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-tick.C:
+					stream.send("progress", hotpotato.SweepProgress{
+						Type: "progress", Done: int(done.Load()), Total: len(cells),
+						ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
+					})
+				}
+			}
+		}()
+	}
+
+	var completed, failed, canceled, cacheHits int
+	sweepErr := hotpotato.ExecuteSweepCells(ctx, cells, hotpotato.SweepOptions{
+		Workers: s.cfg.Workers,
+		Run: func(ctx context.Context, cell hotpotato.SweepCell) (*hotpotato.Result, bool, error) {
+			// ExecuteSweepCells hands us the canonical spec; its hash is the
+			// cell's cache key.
+			hash, err := hotpotato.SpecHash(cell.Spec)
+			if err != nil {
+				return nil, false, err
+			}
+			span := obs.SpanFromContext(ctx).StartChild("sweep_cell")
+			span.SetAttr("index", fmt.Sprint(cell.Index))
+			span.SetAttr("hash", hash)
+			res, _, cached, err := s.cachedExecute(ctx, cell.Spec, hash)
+			span.SetError(err)
+			span.End()
+			metricBatchCells.Inc()
+			return res, cached, err
+		},
+	}, func(cellRes hotpotato.SweepCellResult) {
+		// emit is serialized by ExecuteSweepCells, so the counters are safe.
+		rec := hotpotato.NewSweepResultRecord(cellRes)
+		switch rec.Status {
+		case "ok":
+			completed++
+		case "canceled":
+			canceled++
+		default:
+			failed++
+		}
+		if rec.Cached {
+			cacheHits++
+		}
+		done.Add(1)
+		stream.send("result", rec)
+	})
+
+	total := len(cells)
+	stream.send("summary", hotpotato.SweepSummary{
+		Type: "summary", Total: total, Completed: completed, Failed: failed,
+		Canceled: canceled, CacheHits: cacheHits,
+		ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
+	})
+	logger.Info("batch finished",
+		"cells", total, "completed", completed, "failed", failed,
+		"canceled", canceled, "cache_hits", cacheHits,
+		"duration_ms", float64(time.Since(began).Nanoseconds())/1e6,
+		"error", errString(sweepErr),
+	)
+}

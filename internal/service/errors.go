@@ -1,0 +1,87 @@
+package service
+
+import (
+	"net/http"
+
+	hotpotato "repro"
+)
+
+// Error codes of the v1 JSON error envelope. Every non-2xx response from a
+// /v1 handler is {"error": {"code", "message", "fields"}}; the code is a
+// stable machine-readable name derived from the HTTP status, so clients
+// branch on it instead of parsing message text. The status→code mapping is
+// documented in docs/API.md and pinned by its drift gate.
+const (
+	// CodeInvalidRequest (400): the body did not decode or the spec failed
+	// validation; fields lists every problem found.
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound (404): no such job (possibly evicted by the janitor).
+	CodeNotFound = "not_found"
+	// CodeTooLarge (413): the sweep's cross-product exceeds the server's
+	// admission limit.
+	CodeTooLarge = "too_large"
+	// CodeOverCapacity (429): the async job queue is full; retry later.
+	CodeOverCapacity = "over_capacity"
+	// CodeUnavailable (503): the server is shutting down or the run was
+	// canceled server-side.
+	CodeUnavailable = "unavailable"
+	// CodeInternal (500): an unexpected execution failure.
+	CodeInternal = "internal"
+)
+
+// apiError is the inner object of the v1 error envelope.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Fields itemizes multi-error validation failures (one entry per invalid
+	// field, from errors.Join); absent when the error is singular.
+	Fields []string `json:"fields,omitempty"`
+}
+
+// errorEnvelope is the uniform non-2xx response body of every /v1 handler.
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// errorCode maps an HTTP status to its envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeInvalidRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusRequestEntityTooLarge:
+		return CodeTooLarge
+	case http.StatusTooManyRequests:
+		return CodeOverCapacity
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}
+
+// writeError emits the v1 JSON error envelope — the single error path of
+// every /v1 handler. Multi-errors (errors.Join from Validate) unpack into
+// Fields so a client sees every invalid field in one round trip.
+func writeError(w http.ResponseWriter, status int, err error) {
+	env := errorEnvelope{Error: apiError{Code: errorCode(status), Message: err.Error()}}
+	if multi, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range multi.Unwrap() {
+			env.Error.Fields = append(env.Error.Fields, e.Error())
+		}
+	}
+	writeJSON(w, status, env)
+}
+
+// cachedError replays a MaxTime stop stored in the result cache. The live
+// error chain (fmt.Errorf wrapping sim.ErrTimeout) is not serializable, so
+// the cache stores only its text; this type restores the errors.Is identity
+// clients and handlers branch on. Only timeout outcomes are ever cached —
+// every other error is transient (cancellation) or already rejected before
+// execution — so ErrTimeout is the only identity to restore.
+type cachedError struct{ msg string }
+
+func (e cachedError) Error() string { return e.msg }
+
+func (e cachedError) Is(target error) bool { return target == hotpotato.ErrTimeout }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -47,6 +48,9 @@ type jobState struct {
 	mu   sync.Mutex
 	job  Job
 	spec hotpotato.RunSpec
+	// seq is the store's submission counter at creation; GET /v1/jobs sorts
+	// on it so listings are stable submission order, not map order.
+	seq int
 	// tracer collects one obs.EpochEvent per scheduler epoch of the run for
 	// GET /v1/jobs/{id}/trace; nil when the server disables tracing. It is
 	// internally synchronized — the trace endpoint reads it mid-run.
@@ -121,6 +125,7 @@ func (s *jobStore) create(spec hotpotato.RunSpec, requestID string) *jobState {
 	j := &jobState{
 		job:         Job{ID: fmt.Sprintf("job-%d", s.seq), Status: JobQueued, RequestID: requestID},
 		spec:        spec,
+		seq:         s.seq,
 		submittedAt: time.Now(),
 	}
 	s.jobs[j.job.ID] = j
@@ -138,6 +143,29 @@ func (s *jobStore) remove(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.jobs, id)
+}
+
+// list returns snapshots of every stored job in submission order, keeping
+// only those whose status equals filter ("" keeps all). Evicted jobs are
+// simply absent — the store is a live view bounded by the retention janitor,
+// not an archive.
+func (s *jobStore) list(filter JobStatus) []Job {
+	s.mu.Lock()
+	states := make([]*jobState, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		states = append(states, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(states, func(i, k int) bool { return states[i].seq < states[k].seq })
+	jobs := make([]Job, 0, len(states))
+	for _, j := range states {
+		snap := j.snapshot()
+		if filter != "" && snap.Status != filter {
+			continue
+		}
+		jobs = append(jobs, snap)
+	}
+	return jobs
 }
 
 func (s *jobStore) len() int {

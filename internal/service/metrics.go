@@ -28,4 +28,18 @@ var (
 		"Platform cache lookups served from an existing entry.")
 	metricCacheMisses = obs.NewCounter("service_platform_cache_misses_total",
 		"Platform cache lookups that built (eigendecomposed) a new platform.")
+	metricResultCacheHits = obs.NewCounter("service_result_cache_hits_total",
+		"Result cache lookups served from a cached (or coalesced in-flight) run.")
+	metricResultCacheMisses = obs.NewCounter("service_result_cache_misses_total",
+		"Result cache lookups that started a fresh simulation.")
+	metricResultCacheEvictions = obs.NewCounter("service_result_cache_evictions_total",
+		"Results dropped from the cache by the LRU bound.")
+	metricResultCacheBytes = obs.NewGauge("service_result_cache_bytes",
+		"Approximate JSON-encoded size of all cached results.")
+	metricBatchRequests = obs.NewCounter("service_batch_requests_total",
+		"POST /v1/batch sweeps accepted for streaming execution.")
+	metricBatchCells = obs.NewCounter("service_batch_cells_total",
+		"Sweep cells executed (or served from cache) across all batches.")
+	metricBatchRejected = obs.NewCounter("service_batch_rejected_total",
+		"Sweeps answered 413 because the cross-product exceeded the admission limit.")
 )

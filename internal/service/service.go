@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,21 @@ type Config struct {
 	// part of the platform cache key, so two specs differing only in
 	// solver get distinct platforms.
 	DefaultSolver string
+	// ResultCacheEntries bounds the content-addressed result cache (LRU over
+	// SpecHash keys) shared by POST /v1/run and /v1/batch cells. 0 means
+	// DefaultResultCacheEntries; negative disables result caching (every
+	// request simulates, ETag/304 still works because the hash is computed
+	// per request).
+	ResultCacheEntries int
+	// MaxSweepCells is the admission limit of POST /v1/batch: sweeps whose
+	// cross-product exceeds it are answered 413 before any cell runs. 0
+	// means DefaultMaxSweepCells; values above hotpotato.MaxSweepCells are
+	// clamped to it.
+	MaxSweepCells int
+	// BatchHeartbeat is how often an idle /v1/batch stream emits a progress
+	// record so proxies keep the connection alive during long cells. 0 means
+	// DefaultBatchHeartbeat; negative disables heartbeats.
+	BatchHeartbeat time.Duration
 	// Logger receives the server's structured log stream (access lines, job
 	// lifecycle, shutdown). nil means a no-op logger — tests and embedders
 	// that do not care stay quiet.
@@ -57,12 +73,24 @@ type Config struct {
 // Config.JobRetention is zero.
 const DefaultJobRetention = 10 * time.Minute
 
+// DefaultMaxSweepCells is the /v1/batch admission limit when
+// Config.MaxSweepCells is zero — deliberately far below the structural
+// hotpotato.MaxSweepCells bound, because every admitted cell is a simulation
+// this server has promised to run.
+const DefaultMaxSweepCells = 1024
+
+// DefaultBatchHeartbeat is the idle-stream progress cadence when
+// Config.BatchHeartbeat is zero.
+const DefaultBatchHeartbeat = 10 * time.Second
+
 // Server executes RunSpec documents over HTTP:
 //
-//	POST /v1/run        synchronous: body RunSpec, response {result}
+//	POST /v1/run        synchronous: body RunSpec, response {result} (+ETag/304)
+//	POST /v1/batch      sweep: body SweepSpec, streamed NDJSON/SSE per-cell results
 //	POST /v1/jobs       asynchronous: body RunSpec, response 202 {id, status}
+//	GET  /v1/jobs       job listing (?status= filter)
 //	GET  /v1/jobs/{id}  job status/result
-//	GET  /healthz       liveness + queue depth
+//	GET  /healthz       liveness + queue depth + cache stats
 //
 // All executions go through one semaphore of Config.Workers slots, so the
 // server never runs more simulations than the host has been budgeted for,
@@ -73,9 +101,12 @@ type Server struct {
 	cfg    Config
 	logger *slog.Logger
 	cache  *PlatformCache
-	jobs   *jobStore
-	queue  chan *jobState
-	sem    chan struct{}
+	// results caches finished runs by SpecHash; nil when
+	// Config.ResultCacheEntries is negative.
+	results *ResultCache
+	jobs    *jobStore
+	queue   chan *jobState
+	sem     chan struct{}
 
 	// baseCtx parents every async run (and is grafted onto sync request
 	// contexts), so cancelRuns aborts all in-flight simulations.
@@ -102,11 +133,25 @@ func New(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = obs.NopLogger()
 	}
+	if cfg.MaxSweepCells == 0 {
+		cfg.MaxSweepCells = DefaultMaxSweepCells
+	}
+	if cfg.MaxSweepCells > hotpotato.MaxSweepCells {
+		cfg.MaxSweepCells = hotpotato.MaxSweepCells
+	}
+	if cfg.BatchHeartbeat == 0 {
+		cfg.BatchHeartbeat = DefaultBatchHeartbeat
+	}
+	var results *ResultCache
+	if cfg.ResultCacheEntries >= 0 {
+		results = NewResultCache(cfg.ResultCacheEntries)
+	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		logger:     cfg.Logger,
 		cache:      NewPlatformCache(),
+		results:    results,
 		jobs:       newJobStore(),
 		queue:      make(chan *jobState, cfg.QueueDepth),
 		sem:        make(chan struct{}, cfg.Workers),
@@ -153,13 +198,19 @@ func (s *Server) janitor() {
 // Cache exposes the platform cache (introspection and tests).
 func (s *Server) Cache() *PlatformCache { return s.cache }
 
+// Results exposes the result cache (introspection and tests); nil when
+// result caching is disabled.
+func (s *Server) Results() *ResultCache { return s.results }
+
 // Handler returns the HTTP routes, wrapped in the observability middleware
 // (request-ID propagation + one structured access-log line per request).
 func (s *Server) Handler() http.Handler {
 	obs.Default().PublishExpvar("hotpotato")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
@@ -323,11 +374,76 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.R
 type runResponse struct {
 	Result *hotpotato.Result `json:"result"`
 	// Profile is the wall-clock breakdown of the run (queue/build/decide/
-	// step) — the same summary async jobs carry.
+	// step) — the same summary async jobs carry. Absent on cache hits: a
+	// replayed result has no phases of its own.
 	Profile *obs.RunProfile `json:"profile,omitempty"`
+	// Cached marks a result served from the content-addressed result cache
+	// instead of a fresh simulation.
+	Cached bool `json:"cached,omitempty"`
 	// Error is set when the run ended early (e.g. MaxTime); the partial
 	// result is still included.
 	Error string `json:"error,omitempty"`
+}
+
+// cachedExecute runs one validated spec through the result cache: a fulfilled
+// entry for hash replays instantly (cached=true), an in-flight entry
+// coalesces onto its leader, and otherwise the caller becomes the leader and
+// simulates under the usual concurrency bound. Only clean completions and
+// MaxTime stops are cached; a leader whose run fails any other way abandons
+// the slot and followers fall back to simulating themselves, so one
+// disconnected client never poisons a hash for everyone behind it. A nil
+// result cache (caching disabled) or empty hash degrades to a plain execute.
+func (s *Server) cachedExecute(ctx context.Context, spec hotpotato.RunSpec, hash string) (*hotpotato.Result, *obs.RunProfile, bool, error) {
+	if s.results == nil || hash == "" {
+		res, prof, err := s.execute(ctx, spec, nil)
+		return res, prof, false, err
+	}
+	entry, leader := s.results.Lookup(hash)
+	if leader {
+		res, prof, err := s.execute(ctx, spec, nil)
+		if err == nil || errors.Is(err, hotpotato.ErrTimeout) {
+			s.results.Fulfill(hash, res, errString(err))
+		} else {
+			s.results.Abandon(hash)
+		}
+		return res, prof, false, err
+	}
+	res, errMsg, ok := entry.Wait(ctx)
+	if !ok {
+		if ctx.Err() != nil {
+			return nil, &obs.RunProfile{}, false,
+				fmt.Errorf("%w before starting: %v", hotpotato.ErrCanceled, context.Cause(ctx))
+		}
+		// The leader abandoned (its run failed transiently); run it ourselves
+		// without re-entering the cache, so concurrent fallbacks cannot
+		// re-elect each other forever.
+		res, prof, err := s.execute(ctx, spec, nil)
+		return res, prof, false, err
+	}
+	s.results.RecordHit()
+	var err error
+	if errMsg != "" {
+		err = cachedError{msg: errMsg}
+	}
+	return res, &obs.RunProfile{}, true, err
+}
+
+// specETag is the entity tag of a spec's response: the quoted SpecHash. The
+// simulation is deterministic in the canonical spec, so the tag never goes
+// stale and an If-None-Match match can answer 304 unconditionally.
+func specETag(hash string) string { return `"` + hash + `"` }
+
+// ifNoneMatchHas reports whether the If-None-Match header value matches etag
+// ("*", or any listed tag, weak comparison).
+func ifNoneMatchHas(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -337,6 +453,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	spec, ok := s.decodeSpec(w, r)
 	if !ok {
+		return
+	}
+	// decodeSpec validated the spec, so hashing cannot fail.
+	hash, _ := hotpotato.SpecHash(spec)
+	etag := specETag(hash)
+	if match := r.Header.Get("If-None-Match"); match != "" && ifNoneMatchHas(match, etag) {
+		// Content-addressed: the tag is the spec's identity and the result is
+		// deterministic, so a matching tag is current by construction — no
+		// execution, no cache consultation.
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 
@@ -351,16 +478,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	metricRunRequests.Inc()
 	began := time.Now()
-	res, prof, err := s.execute(ctx, spec, nil)
+	res, prof, cached, err := s.cachedExecute(ctx, spec, hash)
 	metricRunLatency.Observe(time.Since(began).Seconds())
-	prof.TotalNS = time.Since(began).Nanoseconds()
+	if cached {
+		prof = nil
+	} else {
+		prof.TotalNS = time.Since(began).Nanoseconds()
+	}
 	switch {
 	case err == nil:
-		writeJSON(w, http.StatusOK, runResponse{Result: res, Profile: prof})
+		w.Header().Set("ETag", etag)
+		writeJSON(w, http.StatusOK, runResponse{Result: res, Profile: prof, Cached: cached})
 	case errors.Is(err, hotpotato.ErrTimeout):
 		// The simulation hit its own MaxTime: a complete answer about an
 		// incomplete workload, not a transport failure.
-		writeJSON(w, http.StatusOK, runResponse{Result: res, Profile: prof, Error: err.Error()})
+		w.Header().Set("ETag", etag)
+		writeJSON(w, http.StatusOK, runResponse{Result: res, Profile: prof, Cached: cached, Error: err.Error()})
 	case errors.Is(err, hotpotato.ErrCanceled):
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
@@ -486,15 +619,50 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
+// jobList is the envelope of GET /v1/jobs.
+type jobList struct {
+	Jobs []Job `json:"jobs"`
+	// Count duplicates len(jobs) so clients paging by eye need not count.
+	Count int `json:"count"`
+}
+
+// handleJobs lists known jobs in submission order, optionally filtered with
+// ?status= (queued, running, done, failed, canceled). Jobs evicted by the
+// retention janitor are absent — the list is a live view, not an archive.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	var filter JobStatus
+	if q := r.URL.Query().Get("status"); q != "" {
+		filter = JobStatus(q)
+		switch filter {
+		case JobQueued, JobRunning, JobDone, JobFailed, JobCanceled:
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown status filter %q (want queued, running, done, failed or canceled)", q))
+			return
+		}
+	}
+	jobs := s.jobs.list(filter)
+	writeJSON(w, http.StatusOK, jobList{Jobs: jobs, Count: len(jobs)})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	hits, misses := s.cache.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":          "ok",
 		"queued":          len(s.queue),
 		"workers":         s.cfg.Workers,
 		"platform_hits":   hits,
 		"platform_misses": misses,
-	})
+	}
+	if s.results != nil {
+		rHits, rMisses, rEvictions := s.results.Stats()
+		body["result_cache_entries"] = s.results.Len()
+		body["result_cache_bytes"] = s.results.Bytes()
+		body["result_cache_hits"] = rHits
+		body["result_cache_misses"] = rMisses
+		body["result_cache_evictions"] = rEvictions
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // Shutdown stops accepting work and drains: it waits for running and queued
@@ -532,8 +700,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v) // the status line is out; nothing sensible to do on error
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -139,9 +140,11 @@ func TestSyncRunMatchesInProcess(t *testing.T) {
 	}
 }
 
-// TestConcurrentRequestsSharePlatform asserts the tentpole caching property:
-// two concurrent requests for the same chip trigger exactly one platform
-// construction.
+// TestConcurrentRequestsSharePlatform asserts the platform caching property:
+// concurrent requests for the same chip trigger exactly one platform
+// construction. The specs differ per request (distinct work scales), so the
+// result cache cannot coalesce them upstream — every request must reach the
+// platform cache.
 func TestConcurrentRequestsSharePlatform(t *testing.T) {
 	svc, ts := newTestServer(t, Config{Workers: 4})
 
@@ -149,13 +152,15 @@ func TestConcurrentRequestsSharePlatform(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < requests; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			resp, body := postJSON(t, ts.URL+"/v1/run", quickSpecJSON)
+			spec := strings.Replace(quickSpecJSON, `"work_scale": 0.3`,
+				fmt.Sprintf(`"work_scale": 0.%d`, i+1), 1)
+			resp, body := postJSON(t, ts.URL+"/v1/run", spec)
 			if resp.StatusCode != http.StatusOK {
 				t.Errorf("status %d: %s", resp.StatusCode, body)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 

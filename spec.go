@@ -70,6 +70,10 @@ type WorkloadSpec struct {
 // section means DefaultSimConfig (DTM enabled). Programmatically-built specs
 // get the same treatment through WithDefaults, which ExecuteSpec applies.
 type RunSpec struct {
+	// Version is the wire version of the document: absent or SpecVersion
+	// ("v1"). Anything else fails validation, and Canonicalize pins it to
+	// SpecVersion so the version is part of every SpecHash.
+	Version   string         `json:"version,omitempty"`
 	Platform  PlatformConfig `json:"platform"`
 	Sim       SimConfig      `json:"sim"`
 	Scheduler SchedulerSpec  `json:"scheduler"`
@@ -81,6 +85,7 @@ type RunSpec struct {
 // including booleans like sim.dtm_enabled (default true).
 func (s *RunSpec) UnmarshalJSON(b []byte) error {
 	var shadow struct {
+		Version   string          `json:"version"`
 		Platform  json.RawMessage `json:"platform"`
 		Sim       json.RawMessage `json:"sim"`
 		Scheduler SchedulerSpec   `json:"scheduler"`
@@ -90,27 +95,9 @@ func (s *RunSpec) UnmarshalJSON(b []byte) error {
 		return err
 	}
 
-	// The platform defaults depend on the grid size, so peek at it first.
-	var dims struct {
-		Width  int `json:"width"`
-		Height int `json:"height"`
-	}
-	if isPresent(shadow.Platform) {
-		if err := json.Unmarshal(shadow.Platform, &dims); err != nil {
-			return fmt.Errorf("hotpotato: platform section: %w", err)
-		}
-	}
-	if dims.Width == 0 {
-		dims.Width = 8
-	}
-	if dims.Height == 0 {
-		dims.Height = 8
-	}
-	plat := DefaultPlatformConfig(dims.Width, dims.Height)
-	if isPresent(shadow.Platform) {
-		if err := json.Unmarshal(shadow.Platform, &plat); err != nil {
-			return fmt.Errorf("hotpotato: platform section: %w", err)
-		}
+	plat, err := decodePlatformSection(shadow.Platform)
+	if err != nil {
+		return err
 	}
 
 	cfg := DefaultSimConfig()
@@ -120,8 +107,38 @@ func (s *RunSpec) UnmarshalJSON(b []byte) error {
 		}
 	}
 
-	*s = RunSpec{Platform: plat, Sim: cfg, Scheduler: shadow.Scheduler, Workload: shadow.Workload}
+	*s = RunSpec{Version: shadow.Version, Platform: plat, Sim: cfg, Scheduler: shadow.Scheduler, Workload: shadow.Workload}
 	return nil
+}
+
+// decodePlatformSection decodes one JSON platform section over the paper
+// defaults at its own grid size — the overlay rule RunSpec documents have
+// always used, shared with SweepSpec's platform axis. An absent section
+// yields the Table I 8×8 chip.
+func decodePlatformSection(raw json.RawMessage) (PlatformConfig, error) {
+	// The platform defaults depend on the grid size, so peek at it first.
+	var dims struct {
+		Width  int `json:"width"`
+		Height int `json:"height"`
+	}
+	if isPresent(raw) {
+		if err := json.Unmarshal(raw, &dims); err != nil {
+			return PlatformConfig{}, fmt.Errorf("hotpotato: platform section: %w", err)
+		}
+	}
+	if dims.Width == 0 {
+		dims.Width = 8
+	}
+	if dims.Height == 0 {
+		dims.Height = 8
+	}
+	plat := DefaultPlatformConfig(dims.Width, dims.Height)
+	if isPresent(raw) {
+		if err := json.Unmarshal(raw, &plat); err != nil {
+			return PlatformConfig{}, fmt.Errorf("hotpotato: platform section: %w", err)
+		}
+	}
+	return plat, nil
 }
 
 func isPresent(raw json.RawMessage) bool {
@@ -203,6 +220,9 @@ func (s RunSpec) WithDefaults() RunSpec {
 func (s RunSpec) Validate() error {
 	var errs []error
 
+	if err := validateVersion(s.Version); err != nil {
+		errs = append(errs, err)
+	}
 	if s.Platform.Width < 1 || s.Platform.Height < 1 {
 		errs = append(errs, fmt.Errorf("hotpotato: platform grid %dx%d invalid", s.Platform.Width, s.Platform.Height))
 	}
