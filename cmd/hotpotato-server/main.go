@@ -29,6 +29,7 @@ import (
 	"time"
 
 	hotpotato "repro"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -45,6 +46,9 @@ func main() {
 	resultCache := flag.Int("result-cache-entries", 0, "content-addressed result cache capacity in entries (0 = 256, negative = disable)")
 	maxSweepCells := flag.Int("max-sweep-cells", 0, "largest sweep cross-product /v1/batch accepts (0 = 1024)")
 	batchHeartbeat := flag.Duration("batch-heartbeat", 0, "interval between /v1/batch progress records (0 = 10s, negative = disable)")
+	dispatcher := flag.String("dispatcher", "", "fabric dispatcher base URL; when set the server also runs a sweep-fabric worker pull loop against it")
+	workerID := flag.String("worker-id", "", "fabric worker identity offered at registration (empty = dispatcher-assigned)")
+	leaseCells := flag.Int("lease-cells", 0, "sweep cells requested per fabric lease (0 = dispatcher default)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "json", "log format: json|text")
 	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -95,6 +99,31 @@ func main() {
 		IdleTimeout:       *idle,
 	}
 
+	// Worker mode rides alongside serving: the pull loop plugs the service's
+	// cache-consulting cell executor into the fabric, so leased cells share
+	// the result cache (and worker semaphore) with local /v1 traffic. The
+	// worker never applies this server's -solver to fabric cells — the
+	// dispatcher finalized every spec before leasing.
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	workerDone := make(chan struct{})
+	close(workerDone)
+	if *dispatcher != "" {
+		fw := &fabric.Worker{
+			Dispatcher: *dispatcher,
+			ID:         *workerID,
+			LeaseCells: *leaseCells,
+			Exec:       svc.ExecuteCell,
+			Logger:     logger,
+		}
+		workerDone = make(chan struct{})
+		go func() {
+			defer close(workerDone)
+			fw.Run(workerCtx)
+		}()
+		logger.Info("fabric worker mode enabled", "dispatcher", *dispatcher)
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("hotpotato-server listening", "addr", *addr)
@@ -108,6 +137,11 @@ func main() {
 	case sig := <-sigc:
 		logger.Info("signal received, draining", "signal", sig.String(), "budget", drain.String())
 	}
+
+	// Stop leasing new fabric work before draining: in-flight leased cells
+	// finish (or cancel) with the service drain below.
+	stopWorker()
+	<-workerDone
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -4,11 +4,14 @@ package hotpotato_test
 // Three classes of check, all running in the ordinary test suite (and hence
 // in CI):
 //
-//   - the hotpotato-server flags table in docs/SERVICE.md lists exactly the
-//     flags the binary defines (TestServerFlagsMatchServiceDoc), and the
-//     docs/API.md reference stays equal to the code: its routes table to the
-//     mux registrations, its error-code table to the Code* constants, its
-//     flag mentions to defined flags (TestAPIDoc*);
+//   - the flags tables in docs/SERVICE.md list exactly the flags the
+//     binaries define — hotpotato-server above the "The sweep fabric"
+//     heading, hotpotato-dispatch below it (TestServerFlagsMatchServiceDoc,
+//     TestDispatchFlagsMatchServiceDoc) — and the docs/API.md reference
+//     stays equal to the code: its route tables to the service and fabric
+//     mux registrations (split at the same heading), its error-code table
+//     to the Code* constants, its flag mentions to defined flags
+//     (TestAPIDoc*, TestFabricDocRoutesMatchDispatcher);
 //   - every docs-file §-heading reference in Go sources and markdown
 //     resolves to a real heading (TestDocSectionReferencesResolve), and
 //     every relative markdown link and backticked docs-path mention points
@@ -28,12 +31,12 @@ import (
 	"testing"
 )
 
-// serverFlags parses cmd/hotpotato-server/main.go and returns the defined
-// flag names mapped to their default-value expression rendered as source.
-func serverFlags(t *testing.T) map[string]string {
+// binaryFlags parses a cmd main.go and returns the defined flag names
+// mapped to their default-value expression rendered as source.
+func binaryFlags(t *testing.T, path string) map[string]string {
 	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "cmd/hotpotato-server/main.go", nil, 0)
+	f, err := parser.ParseFile(fset, path, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,63 +70,91 @@ func serverFlags(t *testing.T) map[string]string {
 		return true
 	})
 	if len(flags) == 0 {
-		t.Fatal("no flag definitions found in cmd/hotpotato-server/main.go")
+		t.Fatalf("no flag definitions found in %s", path)
 	}
 	return flags
 }
 
-// serviceDocFlags parses the flags table of docs/SERVICE.md: rows of the
-// form `| `-name` | `default` | meaning |`.
-func serviceDocFlags(t *testing.T) map[string]string {
+// fabricHeading splits docs/SERVICE.md (and docs/API.md): table rows above
+// it document hotpotato-server, rows below document hotpotato-dispatch.
+const fabricHeading = `## The sweep fabric`
+
+// serviceDocFlags parses the flag tables of docs/SERVICE.md — rows of the
+// form `| `-name` | `default` | meaning |` — returning the hotpotato-server
+// table (above the fabric heading) and the hotpotato-dispatch table (below)
+// separately. The same flag name may legitimately appear in both (e.g.
+// -lease-cells, with per-binary meanings).
+func serviceDocFlags(t *testing.T) (server, dispatch map[string]string) {
 	t.Helper()
 	data, err := os.ReadFile("docs/SERVICE.md")
 	if err != nil {
 		t.Fatal(err)
 	}
+	head, tail, found := strings.Cut(string(data), fabricHeading)
+	if !found {
+		t.Fatalf("docs/SERVICE.md has no %q heading", fabricHeading)
+	}
 	row := regexp.MustCompile("^\\| `-([a-z-]+)` \\| (.*?) \\|")
-	flags := map[string]string{}
-	for _, line := range strings.Split(string(data), "\n") {
-		if m := row.FindStringSubmatch(line); m != nil {
-			flags[m[1]] = m[2]
+	parse := func(text string) map[string]string {
+		flags := map[string]string{}
+		for _, line := range strings.Split(text, "\n") {
+			if m := row.FindStringSubmatch(line); m != nil {
+				flags[m[1]] = m[2]
+			}
 		}
+		return flags
 	}
-	if len(flags) == 0 {
-		t.Fatal("no flag rows found in docs/SERVICE.md")
+	server, dispatch = parse(head), parse(tail)
+	if len(server) == 0 || len(dispatch) == 0 {
+		t.Fatalf("docs/SERVICE.md flag tables: %d server rows, %d dispatch rows — want both non-empty",
+			len(server), len(dispatch))
 	}
-	return flags
+	return server, dispatch
 }
 
-func TestServerFlagsMatchServiceDoc(t *testing.T) {
-	src := serverFlags(t)
-	doc := serviceDocFlags(t)
+// matchFlagsAgainstDoc is the shared bidirectional check: the doc table
+// lists exactly the binary's flags, and defaults quoted in the doc match
+// the source defaults.
+func matchFlagsAgainstDoc(t *testing.T, binary string, src, doc map[string]string) {
+	t.Helper()
 	for name := range src {
 		if _, ok := doc[name]; !ok {
-			t.Errorf("flag -%s is defined by cmd/hotpotato-server but missing from the docs/SERVICE.md flags table", name)
+			t.Errorf("flag -%s is defined by %s but missing from its docs/SERVICE.md flags table", name, binary)
 		}
 	}
 	for name := range doc {
 		if _, ok := src[name]; !ok {
-			t.Errorf("docs/SERVICE.md documents flag -%s which cmd/hotpotato-server does not define", name)
+			t.Errorf("docs/SERVICE.md documents flag -%s which %s does not define", name, binary)
 		}
 	}
-	// For string flags with a non-empty literal default, the doc's default
-	// column must quote it verbatim (e.g. `:8080`, `info`).
+	// For flags with a non-empty literal default, the doc's default column
+	// must quote it verbatim (e.g. `:8080`, `info`).
 	for name, def := range src {
 		if def == "" || def == "0" || def == "false" {
 			continue
 		}
 		if cell, ok := doc[name]; ok && !strings.Contains(cell, def) {
-			t.Errorf("docs/SERVICE.md default %q for -%s does not mention the source default %q", cell, name, def)
+			t.Errorf("docs/SERVICE.md default %q for %s -%s does not mention the source default %q", cell, binary, name, def)
 		}
 	}
 }
 
-// serviceRoutes parses internal/service/service.go and returns every route
-// pattern registered on the mux ("METHOD /path").
-func serviceRoutes(t *testing.T) map[string]bool {
+func TestServerFlagsMatchServiceDoc(t *testing.T) {
+	doc, _ := serviceDocFlags(t)
+	matchFlagsAgainstDoc(t, "cmd/hotpotato-server", binaryFlags(t, "cmd/hotpotato-server/main.go"), doc)
+}
+
+func TestDispatchFlagsMatchServiceDoc(t *testing.T) {
+	_, doc := serviceDocFlags(t)
+	matchFlagsAgainstDoc(t, "cmd/hotpotato-dispatch", binaryFlags(t, "cmd/hotpotato-dispatch/main.go"), doc)
+}
+
+// muxRoutes parses a Go source file and returns every route pattern
+// registered on a `mux` ("METHOD /path").
+func muxRoutes(t *testing.T, path string) map[string]bool {
 	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "internal/service/service.go", nil, 0)
+	f, err := parser.ParseFile(fset, path, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,48 +180,73 @@ func serviceRoutes(t *testing.T) map[string]bool {
 		return true
 	})
 	if len(routes) == 0 {
-		t.Fatal("no mux registrations found in internal/service/service.go")
+		t.Fatalf("no mux registrations found in %s", path)
 	}
 	return routes
 }
 
-// apiDocRoutes parses the routes table of docs/API.md: rows of the form
-// `| `METHOD /path` | purpose |`.
-func apiDocRoutes(t *testing.T) map[string]bool {
+// apiDocRoutes parses the route tables of docs/API.md — rows of the form
+// `| `METHOD /path` | purpose |` — returning the hotpotato-server table
+// (above the fabric heading) and the hotpotato-dispatch table (below)
+// separately. POST /v1/batch legitimately appears in both: the dispatcher
+// reuses the wire contract.
+func apiDocRoutes(t *testing.T) (server, dispatch map[string]bool) {
 	t.Helper()
 	data, err := os.ReadFile("docs/API.md")
 	if err != nil {
 		t.Fatal(err)
 	}
+	head, tail, found := strings.Cut(string(data), fabricHeading)
+	if !found {
+		t.Fatalf("docs/API.md has no %q heading", fabricHeading)
+	}
 	row := regexp.MustCompile("^\\| `((?:GET|POST|PUT|DELETE) /[^`]*)` \\|")
-	routes := map[string]bool{}
-	for _, line := range strings.Split(string(data), "\n") {
-		if m := row.FindStringSubmatch(line); m != nil {
-			routes[m[1]] = true
+	parse := func(text string) map[string]bool {
+		routes := map[string]bool{}
+		for _, line := range strings.Split(text, "\n") {
+			if m := row.FindStringSubmatch(line); m != nil {
+				routes[m[1]] = true
+			}
+		}
+		return routes
+	}
+	server, dispatch = parse(head), parse(tail)
+	if len(server) == 0 || len(dispatch) == 0 {
+		t.Fatalf("docs/API.md route tables: %d server rows, %d dispatch rows — want both non-empty",
+			len(server), len(dispatch))
+	}
+	return server, dispatch
+}
+
+// matchRoutesAgainstDoc is the shared bidirectional check between one mux
+// and one doc table.
+func matchRoutesAgainstDoc(t *testing.T, pkg string, src, doc map[string]bool) {
+	t.Helper()
+	for r := range src {
+		if !doc[r] {
+			t.Errorf("route %q is registered by %s but missing from its docs/API.md routes table", r, pkg)
 		}
 	}
-	if len(routes) == 0 {
-		t.Fatal("no route rows found in docs/API.md")
+	for r := range doc {
+		if !src[r] {
+			t.Errorf("docs/API.md documents route %q which %s does not register", r, pkg)
+		}
 	}
-	return routes
 }
 
 // TestAPIDocRoutesMatchServer keeps the docs/API.md routes table equal to the
 // mux registrations of internal/service — a route added or removed in code
 // must show up here.
 func TestAPIDocRoutesMatchServer(t *testing.T) {
-	src := serviceRoutes(t)
-	doc := apiDocRoutes(t)
-	for r := range src {
-		if !doc[r] {
-			t.Errorf("route %q is registered by internal/service but missing from the docs/API.md routes table", r)
-		}
-	}
-	for r := range doc {
-		if !src[r] {
-			t.Errorf("docs/API.md documents route %q which internal/service does not register", r)
-		}
-	}
+	doc, _ := apiDocRoutes(t)
+	matchRoutesAgainstDoc(t, "internal/service", muxRoutes(t, "internal/service/service.go"), doc)
+}
+
+// TestFabricDocRoutesMatchDispatcher holds the fabric section of docs/API.md
+// to the same standard: its table lists exactly the dispatcher's mux.
+func TestFabricDocRoutesMatchDispatcher(t *testing.T) {
+	_, doc := apiDocRoutes(t)
+	matchRoutesAgainstDoc(t, "internal/fabric", muxRoutes(t, "internal/fabric/http.go"), doc)
 }
 
 // TestAPIDocErrorCodesMatchService keeps the docs/API.md error-code table
@@ -245,9 +301,14 @@ func TestAPIDocErrorCodesMatchService(t *testing.T) {
 }
 
 // TestAPIDocFlagsExist: every `-flag` mentioned in docs/API.md must be a
-// flag cmd/hotpotato-server actually defines.
+// flag one of the binaries actually defines.
 func TestAPIDocFlagsExist(t *testing.T) {
-	src := serverFlags(t)
+	src := binaryFlags(t, "cmd/hotpotato-server/main.go")
+	for name, def := range binaryFlags(t, "cmd/hotpotato-dispatch/main.go") {
+		if _, ok := src[name]; !ok {
+			src[name] = def
+		}
+	}
 	data, err := os.ReadFile("docs/API.md")
 	if err != nil {
 		t.Fatal(err)
@@ -255,7 +316,7 @@ func TestAPIDocFlagsExist(t *testing.T) {
 	mention := regexp.MustCompile("`-([a-z][a-z-]+)`")
 	for _, m := range mention.FindAllStringSubmatch(string(data), -1) {
 		if _, ok := src[m[1]]; !ok {
-			t.Errorf("docs/API.md mentions flag -%s which cmd/hotpotato-server does not define", m[1])
+			t.Errorf("docs/API.md mentions flag -%s which neither binary defines", m[1])
 		}
 	}
 }

@@ -1,0 +1,563 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	hotpotato "repro"
+	"repro/internal/obs"
+)
+
+// Clock abstracts time for the lease machinery so expiry is unit-testable
+// with a fake clock; production uses the real one.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Defaults of the dispatcher configuration.
+const (
+	// DefaultLeaseTTL is how long a lease stays booked without a heartbeat
+	// before its cells are re-queued.
+	DefaultLeaseTTL = 15 * time.Second
+	// DefaultMaxRetries is how many times a cell is re-leased after lease
+	// expiries before it is reported "failed". The first lease is not a
+	// retry: a cell is abandoned after 1+DefaultMaxRetries bookings.
+	DefaultMaxRetries = 3
+	// DefaultLeaseCells caps how many cells one lease books. Small batches
+	// keep re-queue cost low when a worker dies and spread a sweep evenly.
+	DefaultLeaseCells = 4
+)
+
+// Config sizes a Dispatcher.
+type Config struct {
+	// LeaseTTL is the lease deadline extension per heartbeat (0 =
+	// DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// MaxRetries bounds re-leases per cell after expiries (0 =
+	// DefaultMaxRetries; negative means no retries — one expiry fails the
+	// cell).
+	MaxRetries int
+	// LeaseCells caps cells per lease (0 = DefaultLeaseCells).
+	LeaseCells int
+	// MaxSweepCells is the POST /v1/batch admission limit (0 = the
+	// structural hotpotato.MaxSweepCells; servers typically set much less).
+	MaxSweepCells int
+	// Heartbeat is the client-stream progress cadence (0 = 10s, negative
+	// disables) — the same knob as the single-node server's -batch-heartbeat.
+	Heartbeat time.Duration
+	// DefaultSolver fills platform.thermal.solver on cells that leave it
+	// empty, exactly like hotpotato-server's -solver: the dispatcher must
+	// apply the same default at the same point (post-expansion, pre-hash) or
+	// the same sweep would hash differently here and on a single node.
+	DefaultSolver string
+	// Archive persists completed cells by SpecHash; nil disables archiving
+	// (and the archive-hit fast path).
+	Archive *Archive
+	// Clock drives lease deadlines; nil means the real clock.
+	Clock Clock
+	// Logger receives the dispatcher's structured log stream; nil is quiet.
+	Logger *slog.Logger
+}
+
+// cell lifecycle states.
+const (
+	cellPending = iota
+	cellLeased
+	cellDone
+	cellFailed
+)
+
+// cellTask is one cell's control-plane state.
+type cellTask struct {
+	sweep *sweepState
+	cell  hotpotato.SweepCell
+	hash  string
+	// bookings counts leases granted for this cell; a cell whose lease
+	// expires with bookings > MaxRetries is failed instead of re-queued.
+	bookings int
+	state    int
+}
+
+// sweepState is one submitted sweep: its cells, the record channel its
+// client handler drains, and the tallies the summary and manifest report.
+type sweepState struct {
+	id        string
+	requestID string
+	total     int
+	// outstanding counts cells not yet done/failed/canceled; the records
+	// channel closes when it reaches zero.
+	outstanding int
+	// records is buffered to total, so emits never block — even when the
+	// client handler has gone away.
+	records  chan hotpotato.SweepResultRecord
+	closed   bool
+	canceled bool
+	began    time.Time
+
+	completed, failed, canceledN, cacheHits int
+}
+
+// lease is one booked batch of cells (all from one sweep).
+type lease struct {
+	id       string
+	workerID string
+	sweep    *sweepState
+	// cells indexes the lease's tasks by their sweep cell index.
+	cells    map[int]*cellTask
+	deadline time.Time
+}
+
+// Dispatcher is the control plane: it owns the pending-cell queue, the
+// active leases and their deadlines, and the per-sweep record fan-in. All
+// state transitions happen under one mutex — the dispatcher's work per
+// operation is tiny (the simulations happen on workers), so a single lock
+// is simpler and plenty fast.
+type Dispatcher struct {
+	cfg    Config
+	clock  Clock
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	sweeps  map[string]*sweepState
+	queue   []*cellTask // FIFO; expiry re-queues at the front
+	leases  map[string]*lease
+	workers map[string]int // worker → granted capacity
+	seq     int64
+}
+
+// NewDispatcher builds a dispatcher. Call Run to start the lease reaper (or
+// drive ExpireLeases manually, as the unit tests do).
+func NewDispatcher(cfg Config) *Dispatcher {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.LeaseCells <= 0 {
+		cfg.LeaseCells = DefaultLeaseCells
+	}
+	if cfg.MaxSweepCells <= 0 || cfg.MaxSweepCells > hotpotato.MaxSweepCells {
+		cfg.MaxSweepCells = hotpotato.MaxSweepCells
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 10 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	return &Dispatcher{
+		cfg:     cfg,
+		clock:   cfg.Clock,
+		logger:  cfg.Logger,
+		sweeps:  map[string]*sweepState{},
+		leases:  map[string]*lease{},
+		workers: map[string]int{},
+	}
+}
+
+// Run drives the lease reaper until ctx is done: every quarter TTL it
+// re-queues the booked cells of expired leases. Tests skip Run and call
+// ExpireLeases with a fake clock instead.
+func (d *Dispatcher) Run(ctx context.Context) {
+	interval := d.cfg.LeaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			d.ExpireLeases(d.clock.Now())
+		}
+	}
+}
+
+// Sweep is the client handle of one submitted sweep: the handler drains
+// Records until it closes, then reads the final tallies.
+type Sweep struct {
+	// ID names the sweep (and its archive manifest).
+	ID string
+	// Total is the cell count.
+	Total int
+
+	d  *Dispatcher
+	st *sweepState
+}
+
+// Records returns the stream of finished-cell records in completion order.
+// The channel closes once every cell is accounted for (done, failed, or the
+// sweep was canceled).
+func (s *Sweep) Records() <-chan hotpotato.SweepResultRecord { return s.st.records }
+
+// Counts returns the sweep's tallies so far (completed, failed, canceled,
+// cache hits — archive hits and worker-cache hits both count).
+func (s *Sweep) Counts() (completed, failed, canceled, cacheHits int) {
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	return s.st.completed, s.st.failed, s.st.canceledN, s.st.cacheHits
+}
+
+// Cancel aborts the sweep: pending cells are dropped, leased cells' late
+// results are discarded, and workers learn on their next heartbeat. Safe to
+// call more than once; the handler calls it when its client disconnects.
+func (s *Sweep) Cancel() { s.d.cancelSweep(s.st) }
+
+// Submit registers a sweep's expanded cells with the control plane. Cells
+// whose spec fails to hash are failed immediately; cells whose hash is in
+// the archive replay immediately (Cached: true); the rest are queued for
+// workers. requestID is echoed into the archive manifest.
+func (d *Dispatcher) Submit(cells []hotpotato.SweepCell, requestID string) *Sweep {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	sw := &sweepState{
+		id:          fmt.Sprintf("sweep-%d", d.seq),
+		requestID:   requestID,
+		total:       len(cells),
+		outstanding: len(cells),
+		records:     make(chan hotpotato.SweepResultRecord, len(cells)),
+		began:       d.clock.Now(),
+	}
+	d.sweeps[sw.id] = sw
+	metricSweeps.Inc()
+	metricCells.Add(int64(len(cells)))
+
+	for _, cell := range cells {
+		hash, err := hotpotato.SpecHash(cell.Spec)
+		if err != nil {
+			// Mirror ExecuteSweepCells: an invalid cell is reported, not run.
+			d.finishCellLocked(&cellTask{sweep: sw, cell: cell}, hotpotato.SweepResultRecord{
+				Type: "result", Index: cell.Index, Status: "failed",
+				Error: fmt.Sprintf("cell %d: %v", cell.Index, err),
+			})
+			continue
+		}
+		if d.cfg.Archive != nil {
+			if rec, ok := d.cfg.Archive.Get(hash); ok {
+				rec.Index = cell.Index
+				rec.Cached = true
+				metricArchiveHits.Inc()
+				d.finishCellLocked(&cellTask{sweep: sw, cell: cell, hash: hash}, rec)
+				continue
+			}
+		}
+		d.queue = append(d.queue, &cellTask{sweep: sw, cell: cell, hash: hash})
+	}
+	metricQueueDepth.Set(float64(len(d.queue)))
+	if sw.outstanding == 0 {
+		d.closeSweepLocked(sw)
+	}
+	return &Sweep{ID: sw.id, Total: len(cells), d: d, st: sw}
+}
+
+// Register admits a worker (or refreshes a known one) and returns its
+// identity plus the cadence contract.
+func (d *Dispatcher) Register(req RegisterRequest) RegisterResponse {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := req.ID
+	if id == "" {
+		d.seq++
+		id = fmt.Sprintf("worker-%d", d.seq)
+	}
+	if _, known := d.workers[id]; !known {
+		metricWorkers.Add(1)
+	}
+	d.workers[id] = req.Capacity
+	d.logger.Info("fabric worker registered", "worker", id, "capacity", req.Capacity)
+	return RegisterResponse{
+		ID:         id,
+		LeaseTTLMS: d.cfg.LeaseTTL.Milliseconds(),
+		// A third of the TTL tolerates two consecutive lost heartbeats.
+		HeartbeatMS: (d.cfg.LeaseTTL / 3).Milliseconds(),
+	}
+}
+
+// Lease books up to maxCells pending cells (all from one sweep) to workerID.
+// nil means no work is pending. Unknown workers are registered implicitly so
+// a dispatcher restart does not strand running workers.
+func (d *Dispatcher) Lease(workerID string, maxCells int) *LeaseGrant {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if maxCells <= 0 || maxCells > d.cfg.LeaseCells {
+		maxCells = d.cfg.LeaseCells
+	}
+	// Drop canceled sweeps' cells from the head first, so a dead sweep never
+	// occupies a worker.
+	for len(d.queue) > 0 && d.queue[0].sweep.canceled {
+		d.queue = d.queue[1:]
+	}
+	if len(d.queue) == 0 {
+		metricQueueDepth.Set(0)
+		return nil
+	}
+	sw := d.queue[0].sweep
+	grant := &LeaseGrant{TTLMS: d.cfg.LeaseTTL.Milliseconds(), SweepID: sw.id}
+	tasks := map[int]*cellTask{}
+	kept := d.queue[:0]
+	for _, t := range d.queue {
+		if len(grant.Cells) < maxCells && t.sweep == sw && !t.sweep.canceled {
+			t.state = cellLeased
+			t.bookings++
+			tasks[t.cell.Index] = t
+			grant.Cells = append(grant.Cells, t.cell)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	d.queue = kept
+	metricQueueDepth.Set(float64(len(d.queue)))
+
+	d.seq++
+	grant.ID = fmt.Sprintf("lease-%d", d.seq)
+	d.leases[grant.ID] = &lease{
+		id: grant.ID, workerID: workerID, sweep: sw,
+		cells: tasks, deadline: d.clock.Now().Add(d.cfg.LeaseTTL),
+	}
+	metricLeases.Inc()
+	d.logger.Info("fabric lease granted",
+		"lease", grant.ID, "worker", workerID, "sweep", sw.id, "cells", len(grant.Cells))
+	return grant
+}
+
+// Heartbeat extends leaseID's deadline. ok=false means the lease is unknown
+// (expired or its sweep is gone) and the worker must abandon its cells;
+// canceled=true keeps the lease but tells the worker to stop executing.
+func (d *Dispatcher) Heartbeat(leaseID string) (ok, canceled bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, found := d.leases[leaseID]
+	if !found {
+		return false, false
+	}
+	l.deadline = d.clock.Now().Add(d.cfg.LeaseTTL)
+	return true, l.sweep.canceled
+}
+
+// Results consumes finished-cell records for leaseID. First result wins: a
+// record for an already-finished cell (a re-leased cell completing twice) is
+// dropped. accepted counts consumed records; ok=false means the lease is
+// unknown and the worker should abandon the rest.
+func (d *Dispatcher) Results(leaseID string, recs []hotpotato.SweepResultRecord) (accepted int, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l, found := d.leases[leaseID]
+	if !found {
+		return 0, false
+	}
+	l.deadline = d.clock.Now().Add(d.cfg.LeaseTTL) // results are heartbeats too
+	for _, rec := range recs {
+		t, mine := l.cells[rec.Index]
+		if !mine || t.state != cellLeased {
+			continue
+		}
+		accepted++
+		delete(l.cells, rec.Index)
+		d.finishCellLocked(t, rec)
+		if d.cfg.Archive != nil && rec.Status == "ok" && !rec.Cached && t.hash != "" {
+			if err := d.cfg.Archive.Put(t.hash, rec); err != nil {
+				d.logger.Warn("fabric archive write failed", "hash", t.hash, "error", err.Error())
+			}
+		}
+	}
+	if len(l.cells) == 0 {
+		delete(d.leases, leaseID)
+	}
+	return accepted, true
+}
+
+// ExpireLeases re-queues the unfinished cells of every lease whose deadline
+// is before now, and returns how many leases expired. Cells past their retry
+// budget are failed instead of re-queued. The reaper calls this on a timer;
+// unit tests call it directly with a fake clock.
+func (d *Dispatcher) ExpireLeases(now time.Time) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	expired := 0
+	for id, l := range d.leases {
+		if !l.deadline.Before(now) {
+			continue
+		}
+		expired++
+		metricLeasesExpired.Inc()
+		requeued, failed := 0, 0
+		for _, t := range l.cells {
+			if t.sweep.canceled {
+				d.finishCellLocked(t, hotpotato.SweepResultRecord{
+					Type: "result", Index: t.cell.Index, Hash: t.hash, Status: "canceled",
+					Error: "sweep canceled",
+				})
+				continue
+			}
+			if t.bookings > d.cfg.MaxRetries {
+				failed++
+				d.finishCellLocked(t, hotpotato.SweepResultRecord{
+					Type: "result", Index: t.cell.Index, Hash: t.hash, Status: "failed",
+					Error: fmt.Sprintf("cell %d: lease expired %d times (worker died or stopped heartbeating)",
+						t.cell.Index, t.bookings),
+				})
+				continue
+			}
+			t.state = cellPending
+			requeued++
+			metricCellsRequeued.Inc()
+			// Front of the queue: recovered cells are the sweep's critical
+			// path, so they go out on the next lease.
+			d.queue = append([]*cellTask{t}, d.queue...)
+		}
+		delete(d.leases, id)
+		d.logger.Warn("fabric lease expired",
+			"lease", id, "worker", l.workerID, "requeued", requeued, "failed", failed)
+	}
+	metricQueueDepth.Set(float64(len(d.queue)))
+	return expired
+}
+
+// cancelSweep aborts sw (idempotent): pending cells leave the queue as
+// canceled, and the records channel closes once nothing remains outstanding.
+func (d *Dispatcher) cancelSweep(sw *sweepState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if sw.closed || sw.canceled {
+		return
+	}
+	sw.canceled = true
+	kept := d.queue[:0]
+	for _, t := range d.queue {
+		if t.sweep != sw {
+			kept = append(kept, t)
+			continue
+		}
+		d.finishCellLocked(t, hotpotato.SweepResultRecord{
+			Type: "result", Index: t.cell.Index, Hash: t.hash, Status: "canceled",
+			Error: "sweep canceled",
+		})
+	}
+	d.queue = kept
+	metricQueueDepth.Set(float64(len(d.queue)))
+	// Leased cells are finished as canceled immediately — the client is gone,
+	// so there is no reason to hold its handler until a lease resolves. The
+	// leases themselves are dropped; their workers learn from the next
+	// heartbeat's OK=false and abandon the cells (finishCellLocked's state
+	// guard discards any result that still arrives).
+	for id, l := range d.leases {
+		if l.sweep != sw {
+			continue
+		}
+		for _, t := range l.cells {
+			d.finishCellLocked(t, hotpotato.SweepResultRecord{
+				Type: "result", Index: t.cell.Index, Hash: t.hash, Status: "canceled",
+				Error: "sweep canceled",
+			})
+		}
+		delete(d.leases, id)
+	}
+	d.logger.Info("fabric sweep canceled", "sweep", sw.id)
+}
+
+// finishCellLocked records one cell outcome: tallies, stream emit, and sweep
+// close when it was the last. A cell finishes exactly once — later calls
+// (a late result for a canceled sweep's cell) are dropped. Callers hold d.mu.
+func (d *Dispatcher) finishCellLocked(t *cellTask, rec hotpotato.SweepResultRecord) {
+	if t.state == cellDone || t.state == cellFailed {
+		return
+	}
+	sw := t.sweep
+	switch rec.Status {
+	case "ok":
+		t.state = cellDone
+		sw.completed++
+		metricCellsCompleted.Inc()
+	case "canceled":
+		t.state = cellDone
+		sw.canceledN++
+	default:
+		t.state = cellFailed
+		sw.failed++
+		metricCellsFailed.Inc()
+	}
+	if rec.Cached {
+		sw.cacheHits++
+	}
+	sw.outstanding--
+	if !sw.closed && !sw.canceled {
+		// Buffered to total and each cell finishes exactly once, so this
+		// never blocks.
+		sw.records <- rec
+	}
+	if sw.outstanding == 0 {
+		d.closeSweepLocked(sw)
+	}
+}
+
+// closeSweepLocked seals a finished sweep: closes its record stream, writes
+// the archive manifest, and forgets the sweep. Callers hold d.mu.
+func (d *Dispatcher) closeSweepLocked(sw *sweepState) {
+	if sw.closed {
+		return
+	}
+	sw.closed = true
+	close(sw.records)
+	// The Sweep handle holds its own pointer, so the registry entry is no
+	// longer needed; dropping it here is what bounds the dispatcher's memory.
+	delete(d.sweeps, sw.id)
+	if d.cfg.Archive != nil && !sw.canceled {
+		m := Manifest{
+			SweepID: sw.id, RequestID: sw.requestID,
+			Total: sw.total, Completed: sw.completed, Failed: sw.failed,
+			Canceled:  sw.canceledN,
+			CacheHits: sw.cacheHits,
+			ElapsedMS: float64(d.clock.Now().Sub(sw.began).Nanoseconds()) / 1e6,
+		}
+		if err := d.cfg.Archive.WriteManifest(sw.id, m); err != nil {
+			d.logger.Warn("fabric manifest write failed", "sweep", sw.id, "error", err.Error())
+		}
+	}
+	d.logger.Info("fabric sweep finished",
+		"sweep", sw.id, "completed", sw.completed, "failed", sw.failed,
+		"canceled", sw.canceledN, "cache_hits", sw.cacheHits)
+}
+
+// Stats is the dispatcher's health snapshot.
+type Stats struct {
+	// Workers is how many distinct workers have registered.
+	Workers int `json:"workers"`
+	// QueuedCells is the pending-cell queue depth.
+	QueuedCells int `json:"queued_cells"`
+	// ActiveLeases is how many leases are currently booked.
+	ActiveLeases int `json:"active_leases"`
+	// ActiveSweeps is how many sweeps are still streaming.
+	ActiveSweeps int `json:"active_sweeps"`
+}
+
+// Snapshot returns the current Stats (the /healthz body).
+func (d *Dispatcher) Snapshot() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{
+		Workers:      len(d.workers),
+		QueuedCells:  len(d.queue),
+		ActiveLeases: len(d.leases),
+		// Closed sweeps leave the registry, so everything in it is active.
+		ActiveSweeps: len(d.sweeps),
+	}
+}

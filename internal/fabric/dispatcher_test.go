@@ -1,0 +1,304 @@
+package fabric
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	hotpotato "repro"
+)
+
+// fakeClock is a settable Clock for lease-expiry tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testCells builds n valid quick cells (distinct seeds so hashes differ).
+func testCells(t *testing.T, n int) []hotpotato.SweepCell {
+	t.Helper()
+	var spec hotpotato.RunSpec
+	if err := json.Unmarshal([]byte(`{
+		"platform":  {"width": 4, "height": 4},
+		"scheduler": {"name": "hotpotato"},
+		"workload":  {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.2}]}
+	}`), &spec); err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]hotpotato.SweepCell, n)
+	for i := range cells {
+		var s hotpotato.RunSpec
+		data, _ := json.Marshal(spec)
+		if err := json.Unmarshal(data, &s); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct work scales keep every cell's SpecHash distinct (a seed
+		// would not: canonicalization drops it for explicit workloads).
+		s.Workload.Tasks[0].WorkScale = 0.2 + 0.01*float64(i)
+		cells[i] = hotpotato.SweepCell{Index: i, Spec: s.WithDefaults()}
+	}
+	return cells
+}
+
+// okRecord fabricates a worker result for a cell.
+func okRecord(index int) hotpotato.SweepResultRecord {
+	return hotpotato.SweepResultRecord{Type: "result", Index: index, Status: "ok",
+		Result: &hotpotato.Result{}}
+}
+
+func newTestDispatcher(clock Clock, maxRetries int) *Dispatcher {
+	return NewDispatcher(Config{
+		LeaseTTL:   10 * time.Second,
+		MaxRetries: maxRetries,
+		LeaseCells: 2,
+		Clock:      clock,
+	})
+}
+
+// TestLeaseExpiryRequeuesAtFront: a lease whose worker never heartbeats
+// expires one TTL later; its cells return to the FRONT of the queue so the
+// recovered cells (the sweep's critical path) go out on the very next lease.
+func TestLeaseExpiryRequeuesAtFront(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := newTestDispatcher(clock, 3)
+	sweep := d.Submit(testCells(t, 4), "")
+
+	dead := d.Lease("doomed", 2) // books cells 0,1
+	if dead == nil || len(dead.Cells) != 2 {
+		t.Fatalf("lease grant %+v, want 2 cells", dead)
+	}
+
+	// Before expiry nothing happens.
+	if n := d.ExpireLeases(clock.Now().Add(5 * time.Second)); n != 0 {
+		t.Fatalf("lease expired %d early", n)
+	}
+	// One TTL on, the lease dies and cells 0,1 lead the queue again.
+	clock.Advance(11 * time.Second)
+	if n := d.ExpireLeases(clock.Now()); n != 1 {
+		t.Fatalf("expired %d leases, want 1", n)
+	}
+
+	next := d.Lease("healthy", 2)
+	if next == nil || len(next.Cells) != 2 {
+		t.Fatalf("re-lease grant %+v", next)
+	}
+	got := map[int]bool{next.Cells[0].Index: true, next.Cells[1].Index: true}
+	if !got[0] || !got[1] {
+		t.Fatalf("re-lease booked cells %v, want the expired 0 and 1 first", got)
+	}
+
+	// A late result on the dead lease is rejected so the worker abandons.
+	if _, ok := d.Results(dead.ID, []hotpotato.SweepResultRecord{okRecord(0)}); ok {
+		t.Fatal("dead lease accepted results")
+	}
+	if ok, _ := d.Heartbeat(dead.ID); ok {
+		t.Fatal("dead lease accepted a heartbeat")
+	}
+
+	// Finish everything through live leases; the stream must hold exactly
+	// one record per cell despite the expiry detour.
+	if n, ok := d.Results(next.ID, []hotpotato.SweepResultRecord{okRecord(0), okRecord(1)}); !ok || n != 2 {
+		t.Fatalf("results accepted=%d ok=%v", n, ok)
+	}
+	rest := d.Lease("healthy", 2)
+	if n, ok := d.Results(rest.ID, []hotpotato.SweepResultRecord{okRecord(2), okRecord(3)}); !ok || n != 2 {
+		t.Fatalf("results accepted=%d ok=%v", n, ok)
+	}
+
+	var indices []int
+	for rec := range sweep.Records() {
+		if rec.Status != "ok" {
+			t.Errorf("cell %d status %q", rec.Index, rec.Status)
+		}
+		indices = append(indices, rec.Index)
+	}
+	if len(indices) != 4 {
+		t.Fatalf("stream carried %d records, want 4: %v", len(indices), indices)
+	}
+	completed, failed, canceled, _ := sweep.Counts()
+	if completed != 4 || failed != 0 || canceled != 0 {
+		t.Fatalf("counts completed=%d failed=%d canceled=%d", completed, failed, canceled)
+	}
+}
+
+// TestLeaseExpiryHonorsHeartbeat: heartbeats (and result posts) push the
+// deadline out, so a slow-but-alive worker never loses its lease.
+func TestLeaseExpiryHonorsHeartbeat(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := newTestDispatcher(clock, 3)
+	d.Submit(testCells(t, 2), "")
+
+	grant := d.Lease("slow", 2)
+	for i := 0; i < 5; i++ {
+		clock.Advance(8 * time.Second) // inside the 10s TTL each time
+		if ok, _ := d.Heartbeat(grant.ID); !ok {
+			t.Fatalf("heartbeat %d rejected", i)
+		}
+		if n := d.ExpireLeases(clock.Now()); n != 0 {
+			t.Fatalf("heartbeated lease expired on round %d", i)
+		}
+	}
+}
+
+// TestLeaseRetryExhaustion: a cell whose lease expires more than MaxRetries
+// times is reported "failed" instead of re-queued forever.
+func TestLeaseRetryExhaustion(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := newTestDispatcher(clock, 1) // 1 retry: second expiry fails the cell
+	sweep := d.Submit(testCells(t, 1), "")
+
+	for round := 0; round < 2; round++ {
+		if grant := d.Lease("flaky", 1); grant == nil {
+			t.Fatalf("round %d: no lease for the re-queued cell", round)
+		}
+		clock.Advance(11 * time.Second)
+		if n := d.ExpireLeases(clock.Now()); n != 1 {
+			t.Fatalf("round %d: expired %d leases", round, n)
+		}
+	}
+	// bookings is now 2 > MaxRetries=1, so the cell failed on the second
+	// expiry and the sweep closed.
+	if grant := d.Lease("flaky", 1); grant != nil {
+		t.Fatalf("exhausted cell re-leased: %+v", grant)
+	}
+	var recs []hotpotato.SweepResultRecord
+	for rec := range sweep.Records() {
+		recs = append(recs, rec)
+	}
+	if len(recs) != 1 || recs[0].Status != "failed" {
+		t.Fatalf("records %+v, want one failed", recs)
+	}
+	_, failed, _, _ := sweep.Counts()
+	if failed != 1 {
+		t.Fatalf("failed = %d, want 1", failed)
+	}
+}
+
+// TestResultsFirstWins: when an expired lease's cell completes on a second
+// worker, a duplicate record for the same cell is dropped — the stream
+// carries exactly one record per index.
+func TestResultsFirstWins(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := newTestDispatcher(clock, 3)
+	sweep := d.Submit(testCells(t, 1), "")
+
+	first := d.Lease("w1", 1)
+	clock.Advance(11 * time.Second)
+	d.ExpireLeases(clock.Now())
+	second := d.Lease("w2", 1)
+
+	if n, ok := d.Results(second.ID, []hotpotato.SweepResultRecord{okRecord(0)}); !ok || n != 1 {
+		t.Fatalf("second lease results accepted=%d ok=%v", n, ok)
+	}
+	// w1 finally reports the same cell on its dead lease: rejected outright.
+	if _, ok := d.Results(first.ID, []hotpotato.SweepResultRecord{okRecord(0)}); ok {
+		t.Fatal("dead lease accepted a duplicate result")
+	}
+
+	count := 0
+	for range sweep.Records() {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("stream carried %d records for one cell", count)
+	}
+}
+
+// TestSubmitArchiveHit: cells whose hash is already archived replay
+// immediately as Cached records, without ever entering the queue.
+func TestSubmitArchiveHit(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	archive, err := NewArchive(t.TempDir(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := testCells(t, 2)
+	hash0, err := hotpotato.SpecHash(cells[0].Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := archive.Put(hash0, okRecord(99)); err != nil {
+		t.Fatal(err)
+	}
+
+	d := NewDispatcher(Config{LeaseTTL: 10 * time.Second, LeaseCells: 2, Clock: clock, Archive: archive})
+	sweep := d.Submit(cells, "")
+
+	grant := d.Lease("w", 2)
+	if grant == nil || len(grant.Cells) != 1 || grant.Cells[0].Index != 1 {
+		t.Fatalf("lease %+v, want only the unarchived cell 1", grant)
+	}
+	d.Results(grant.ID, []hotpotato.SweepResultRecord{okRecord(1)})
+
+	byIndex := map[int]hotpotato.SweepResultRecord{}
+	for rec := range sweep.Records() {
+		byIndex[rec.Index] = rec
+	}
+	if len(byIndex) != 2 {
+		t.Fatalf("stream carried %d records, want 2", len(byIndex))
+	}
+	if !byIndex[0].Cached {
+		t.Error("archived cell not marked Cached")
+	}
+	if byIndex[0].Index != 0 {
+		t.Error("archive replay did not re-stamp the cell index")
+	}
+	_, _, _, cacheHits := sweep.Counts()
+	if cacheHits != 1 {
+		t.Errorf("cacheHits = %d, want 1", cacheHits)
+	}
+}
+
+// TestCancelReleasesLeasedCells: canceling a sweep finishes its pending AND
+// leased cells immediately (canceled), closes the stream, and tells the
+// worker on its next heartbeat.
+func TestCancelReleasesLeasedCells(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	d := newTestDispatcher(clock, 3)
+	sweep := d.Submit(testCells(t, 3), "")
+
+	grant := d.Lease("w", 2) // cells 0,1 leased; 2 pending
+	sweep.Cancel()
+
+	// The stream closes without blocking on the leased cells.
+	deadline := time.After(2 * time.Second)
+	count := 0
+	for {
+		select {
+		case _, ok := <-sweep.Records():
+			if !ok {
+				goto drained
+			}
+			count++
+		case <-deadline:
+			t.Fatal("record stream did not close after Cancel")
+		}
+	}
+drained:
+	if count != 0 {
+		t.Fatalf("canceled sweep emitted %d records", count)
+	}
+	_, _, canceled, _ := sweep.Counts()
+	if canceled != 3 {
+		t.Fatalf("canceled = %d, want 3", canceled)
+	}
+	if ok, _ := d.Heartbeat(grant.ID); ok {
+		t.Fatal("lease of a canceled sweep still heartbeats")
+	}
+	if st := d.Snapshot(); st.ActiveSweeps != 0 || st.QueuedCells != 0 {
+		t.Fatalf("snapshot after cancel: %+v", st)
+	}
+}

@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	hotpotato "repro"
+)
+
+// TestRecordStreamTerminalGuard: once the "summary" record is sent the
+// stream is sealed — later sends are refused, counted, and reported, never
+// written. This is the structural backstop behind the summary-last contract.
+func TestRecordStreamTerminalGuard(t *testing.T) {
+	rec := httptest.NewRecorder()
+	var drops []string
+	s := NewRecordStream(rec, false, func(typ, reason string) { drops = append(drops, typ+": "+reason) })
+
+	if !s.Send("sweep", hotpotato.SweepStarted{Type: "sweep", Total: 1}) {
+		t.Fatal("header send refused")
+	}
+	if !s.Send("summary", hotpotato.SweepSummary{Type: "summary", Total: 1}) {
+		t.Fatal("summary send refused")
+	}
+	if s.Send("progress", hotpotato.SweepProgress{Type: "progress"}) {
+		t.Fatal("post-summary progress was written")
+	}
+	if s.Send("result", hotpotato.SweepResultRecord{Type: "result"}) {
+		t.Fatal("post-summary result was written")
+	}
+
+	body := rec.Body.String()
+	if strings.Contains(body, `"progress"`) || strings.Contains(body, `"type":"result"`) {
+		t.Fatalf("sealed stream leaked records:\n%s", body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], `"summary"`) {
+		t.Fatalf("stream is not header+summary:\n%s", body)
+	}
+	if s.Dropped() != 2 || len(drops) != 2 {
+		t.Fatalf("dropped = %d (reported %d), want 2", s.Dropped(), len(drops))
+	}
+}
+
+// TestRecordStreamMarshalFailure: a record whose body cannot marshal is
+// dropped loudly (counted + reported), not silently skipped — and does not
+// seal the stream.
+func TestRecordStreamMarshalFailure(t *testing.T) {
+	rec := httptest.NewRecorder()
+	var drops int
+	s := NewRecordStream(rec, false, func(string, string) { drops++ })
+
+	if s.Send("result", map[string]any{"bad": make(chan int)}) {
+		t.Fatal("unmarshalable record reported as sent")
+	}
+	if drops != 1 || s.Dropped() != 1 {
+		t.Fatalf("drops = %d / %d, want 1", drops, s.Dropped())
+	}
+	if !s.Send("summary", hotpotato.SweepSummary{Type: "summary"}) {
+		t.Fatal("stream unusable after a marshal failure")
+	}
+}
+
+// TestRecordStreamSSEFraming: SSE mode frames each record as an event/data
+// pair whose event name is the record type, with the right Content-Type.
+func TestRecordStreamSSEFraming(t *testing.T) {
+	rec := httptest.NewRecorder()
+	s := NewRecordStream(rec, true, nil)
+	if !s.SSE() {
+		t.Fatal("SSE() false on an SSE stream")
+	}
+	s.Send("sweep", hotpotato.SweepStarted{Type: "sweep", Total: 1})
+	s.Send("summary", hotpotato.SweepSummary{Type: "summary", Total: 1})
+
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"event: sweep\ndata: ", "event: summary\ndata: "} {
+		if !strings.Contains(body, want) {
+			t.Errorf("SSE body missing %q:\n%s", want, body)
+		}
+	}
+}

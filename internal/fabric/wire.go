@@ -1,0 +1,115 @@
+package fabric
+
+import (
+	hotpotato "repro"
+)
+
+// Wire types of the worker-facing surface (/fabric/v1/*). All bodies are
+// JSON; every response reuses the v1 error envelope on failure. The
+// client-facing POST /v1/batch speaks the hotpotato.Sweep* record types
+// unchanged — these types exist only between dispatcher and workers.
+
+// RegisterRequest announces a worker to the dispatcher. ID may be empty, in
+// which case the dispatcher assigns one.
+type RegisterRequest struct {
+	// ID is the worker's self-chosen identity (e.g. host:port); empty asks
+	// the dispatcher to generate one.
+	ID string `json:"id,omitempty"`
+	// Capacity is how many cells the worker wants per lease; 0 lets the
+	// dispatcher choose. The dispatcher may grant fewer, never more than its
+	// own per-lease cap.
+	Capacity int `json:"capacity,omitempty"`
+}
+
+// RegisterResponse tells the worker its identity and the cadence contract:
+// heartbeat at least every HeartbeatMS or the lease expires LeaseTTLMS after
+// its last extension.
+type RegisterResponse struct {
+	// ID is the worker identity to present on every later call.
+	ID string `json:"id"`
+	// LeaseTTLMS is the lease deadline extension granted by each heartbeat
+	// (and the initial deadline of a fresh lease), in milliseconds.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// HeartbeatMS is the cadence the dispatcher expects heartbeats at —
+	// comfortably inside the TTL so one dropped packet does not expire a
+	// healthy worker's lease.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// LeaseRequest asks for a batch of cells to execute.
+type LeaseRequest struct {
+	// WorkerID is the identity from RegisterResponse.
+	WorkerID string `json:"worker_id"`
+	// MaxCells bounds the grant; 0 means the dispatcher's per-lease default.
+	MaxCells int `json:"max_cells,omitempty"`
+}
+
+// LeaseResponse carries the granted lease; a nil Lease means no work is
+// pending and the worker should poll again after its idle interval.
+type LeaseResponse struct {
+	// Lease is the booked batch of cells, nil when the queue is empty.
+	Lease *LeaseGrant `json:"lease,omitempty"`
+}
+
+// LeaseGrant is one booked batch of cells: all from one sweep, leased to one
+// worker, with a deadline the worker keeps alive by heartbeating.
+type LeaseGrant struct {
+	// ID names the lease on heartbeat and result calls.
+	ID string `json:"id"`
+	// SweepID is the sweep the cells belong to.
+	SweepID string `json:"sweep_id"`
+	// Cells are the booked cells, each a complete RunSpec plus its index in
+	// the sweep's expansion order.
+	Cells []hotpotato.SweepCell `json:"cells"`
+	// TTLMS echoes the lease TTL so a worker needs no registration state to
+	// compute a safe heartbeat cadence.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// HeartbeatRequest extends a lease's deadline.
+type HeartbeatRequest struct {
+	// WorkerID is the heartbeating worker.
+	WorkerID string `json:"worker_id"`
+	// LeaseID is the lease to extend.
+	LeaseID string `json:"lease_id"`
+	// Done reports how many of the lease's cells have finished — progress
+	// telemetry for the dispatcher's logs, not a correctness input.
+	Done int `json:"done,omitempty"`
+}
+
+// HeartbeatResponse acknowledges (or rejects) a heartbeat.
+type HeartbeatResponse struct {
+	// OK reports the lease is still valid and its deadline was extended.
+	// false means the dispatcher no longer knows the lease (it expired and
+	// was re-queued, or its sweep is gone) — the worker must abandon the
+	// lease's remaining cells and stop posting results for it.
+	OK bool `json:"ok"`
+	// Canceled reports the lease's sweep was canceled (its client
+	// disconnected); the worker should stop executing the lease's cells.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// ResultsRequest streams finished cells back. Workers post records one at a
+// time as cells finish (the dispatcher forwards them straight onto the
+// client stream), but the wire accepts a batch so a worker can flush several
+// at once after a transient dispatcher outage.
+type ResultsRequest struct {
+	// WorkerID is the reporting worker.
+	WorkerID string `json:"worker_id"`
+	// LeaseID is the lease the cells belong to.
+	LeaseID string `json:"lease_id"`
+	// Records are the finished cells in hotpotato wire form — exactly what a
+	// single-node /v1/batch would have streamed for them.
+	Records []hotpotato.SweepResultRecord `json:"records"`
+}
+
+// ResultsResponse acknowledges a results post.
+type ResultsResponse struct {
+	// Accepted is how many records the dispatcher consumed. Records for
+	// already-finished cells (a re-leased cell completing twice) are counted
+	// here too — first result wins, duplicates are dropped silently.
+	Accepted int `json:"accepted"`
+	// OK mirrors HeartbeatResponse.OK: false means the lease is unknown and
+	// the worker should abandon its remaining cells.
+	OK bool `json:"ok"`
+}

@@ -1,0 +1,251 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	hotpotato "repro"
+	"repro/internal/obs"
+)
+
+// RunCell executes one sweep cell and reports (result, cache-hit, error) —
+// the same shape as hotpotato.SweepOptions.Run. hotpotato-server plugs its
+// cache-consulting executor in here, so fabric cells flow through the same
+// ResultCache as the worker's own /v1/run traffic.
+type RunCell func(ctx context.Context, cell hotpotato.SweepCell) (*hotpotato.Result, bool, error)
+
+// Worker is the pull loop a hotpotato-server runs when given a dispatcher:
+// register, then lease → execute → post results → heartbeat, forever. It
+// never applies local policy (like the worker's own -solver default) to
+// fabric cells — the dispatcher already finalized every spec, and a worker
+// that rewrote them would break the fleet-wide hash agreement.
+type Worker struct {
+	// Dispatcher is the dispatcher's base URL (e.g. http://host:8080).
+	Dispatcher string
+	// ID is the worker identity offered at registration; empty lets the
+	// dispatcher assign one.
+	ID string
+	// LeaseCells is the per-lease cell ask; 0 accepts the dispatcher default.
+	LeaseCells int
+	// Exec executes one cell (required).
+	Exec RunCell
+	// Client is the HTTP client used for dispatcher calls; nil means a
+	// client with a 30s timeout.
+	Client *http.Client
+	// Logger receives the worker's structured log stream; nil is quiet.
+	Logger *slog.Logger
+	// IdlePoll is the lease-poll interval while the queue is empty; 0 means
+	// one second.
+	IdlePoll time.Duration
+}
+
+// Run registers and pulls work until ctx is done. Transient dispatcher
+// errors back off and retry: a worker outlives dispatcher restarts.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Exec == nil {
+		return fmt.Errorf("fabric: Worker.Exec is required")
+	}
+	if w.Client == nil {
+		w.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if w.Logger == nil {
+		w.Logger = obs.NopLogger()
+	}
+	if w.IdlePoll <= 0 {
+		w.IdlePoll = time.Second
+	}
+
+	var reg RegisterResponse
+	for {
+		var err error
+		reg, err = w.register(ctx)
+		if err == nil {
+			break
+		}
+		w.Logger.Warn("fabric register failed, retrying", "error", err.Error())
+		if !sleepCtx(ctx, w.IdlePoll) {
+			return ctx.Err()
+		}
+	}
+	w.ID = reg.ID
+	heartbeatEvery := time.Duration(reg.HeartbeatMS) * time.Millisecond
+	if heartbeatEvery <= 0 {
+		heartbeatEvery = 5 * time.Second
+	}
+	w.Logger.Info("fabric worker running",
+		"worker", w.ID, "dispatcher", w.Dispatcher, "heartbeat", heartbeatEvery.String())
+
+	for ctx.Err() == nil {
+		grant, err := w.lease(ctx)
+		if err != nil {
+			w.Logger.Warn("fabric lease failed, retrying", "error", err.Error())
+			sleepCtx(ctx, w.IdlePoll)
+			continue
+		}
+		if grant == nil {
+			sleepCtx(ctx, w.IdlePoll)
+			continue
+		}
+		w.executeLease(ctx, grant, heartbeatEvery)
+	}
+	return ctx.Err()
+}
+
+// executeLease runs one granted lease: cells sequentially (the worker's own
+// /v1/run concurrency is governed by its serving stack; the fabric's
+// parallelism comes from many workers, not many goroutines per lease), each
+// result posted as it finishes, with a heartbeat goroutine keeping the lease
+// alive. A heartbeat or results response with OK=false abandons the rest.
+func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, heartbeatEvery time.Duration) {
+	w.Logger.Info("fabric lease accepted",
+		"lease", grant.ID, "sweep", grant.SweepID, "cells", len(grant.Cells))
+
+	// leaseCtx cancels cell execution when the lease dies under us
+	// (dispatcher forgot it, or the sweep was canceled).
+	leaseCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var done int
+	doneCh := make(chan int, len(grant.Cells))
+	hbStopped := make(chan struct{})
+	go func() {
+		defer close(hbStopped)
+		tick := time.NewTicker(heartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-leaseCtx.Done():
+				return
+			case n := <-doneCh:
+				done = n
+			case <-tick.C:
+				resp, err := w.heartbeat(leaseCtx, grant.ID, done)
+				if err != nil {
+					// Transient: the lease TTL tolerates a few missed beats.
+					w.Logger.Warn("fabric heartbeat failed", "lease", grant.ID, "error", err.Error())
+					continue
+				}
+				if !resp.OK || resp.Canceled {
+					w.Logger.Info("fabric lease abandoned",
+						"lease", grant.ID, "ok", resp.OK, "canceled", resp.Canceled)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	// Cells run through the library's own sweep executor (Workers: 1 — the
+	// fabric's parallelism is many workers, not many goroutines per lease),
+	// so canonicalization, hashing, and result classification are the exact
+	// code path a single-node /v1/batch uses. That shared path is what makes
+	// a distributed sweep's (Index, Hash, Result) triples bit-identical to a
+	// local run's.
+	finished := 0
+	hotpotato.ExecuteSweepCells(leaseCtx, grant.Cells, hotpotato.SweepOptions{
+		Workers: 1,
+		Run:     w.Exec,
+	}, func(cr hotpotato.SweepCellResult) {
+		rec := hotpotato.NewSweepResultRecord(cr)
+		if leaseCtx.Err() != nil && rec.Status == "canceled" {
+			// Lease died under us: the dispatcher re-queues these cells, so
+			// reporting them canceled would wrongly finish them.
+			return
+		}
+		// Post with ctx, not leaseCtx: a result finished microseconds before
+		// the lease was canceled is still worth delivering.
+		resp, perr := w.postResults(ctx, grant.ID, []hotpotato.SweepResultRecord{rec})
+		if perr != nil {
+			w.Logger.Warn("fabric results post failed", "lease", grant.ID, "error", perr.Error())
+			// The cell is done but unreported; the lease expires and the cell
+			// re-runs elsewhere (cheaply here, if this worker re-leases it —
+			// its result is in the local cache).
+			cancel()
+			return
+		}
+		if !resp.OK {
+			w.Logger.Info("fabric lease abandoned", "lease", grant.ID, "ok", false)
+			cancel()
+			return
+		}
+		finished += resp.Accepted
+		select {
+		case doneCh <- finished:
+		default:
+		}
+	})
+	cancel()
+	<-hbStopped
+}
+
+func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := w.post(ctx, "/fabric/v1/register", RegisterRequest{ID: w.ID, Capacity: w.LeaseCells}, &resp)
+	return resp, err
+}
+
+func (w *Worker) lease(ctx context.Context) (*LeaseGrant, error) {
+	var resp LeaseResponse
+	err := w.post(ctx, "/fabric/v1/lease", LeaseRequest{WorkerID: w.ID, MaxCells: w.LeaseCells}, &resp)
+	return resp.Lease, err
+}
+
+func (w *Worker) heartbeat(ctx context.Context, leaseID string, done int) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := w.post(ctx, "/fabric/v1/heartbeat",
+		HeartbeatRequest{WorkerID: w.ID, LeaseID: leaseID, Done: done}, &resp)
+	return resp, err
+}
+
+func (w *Worker) postResults(ctx context.Context, leaseID string, recs []hotpotato.SweepResultRecord) (ResultsResponse, error) {
+	var resp ResultsResponse
+	err := w.post(ctx, "/fabric/v1/results",
+		ResultsRequest{WorkerID: w.ID, LeaseID: leaseID, Records: recs}, &resp)
+	return resp, err
+}
+
+// post is the one dispatcher RPC shape: JSON in, JSON out, any non-2xx is an
+// error carrying the body's first line.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Dispatcher+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var env struct {
+			Error struct {
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&env)
+		return fmt.Errorf("%s: %s (%s)", path, resp.Status, env.Error.Message)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps d or until ctx is done; it reports whether ctx survived.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -12,50 +12,16 @@ import (
 	"time"
 
 	hotpotato "repro"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 )
 
-// batchStream serializes the NDJSON (or SSE) records of one /v1/batch
-// response. Every record is flushed immediately — the whole point of the
-// endpoint is that cell results arrive as they finish, not at the end.
-type batchStream struct {
-	mu  sync.Mutex
-	w   http.ResponseWriter
-	f   http.Flusher
-	sse bool
-}
-
-func newBatchStream(w http.ResponseWriter, sse bool) *batchStream {
-	f, _ := w.(http.Flusher)
-	if sse {
-		w.Header().Set("Content-Type", "text/event-stream")
-		w.Header().Set("Cache-Control", "no-cache")
-	} else {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	}
-	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
-	return &batchStream{w: w, f: f, sse: sse}
-}
-
-// send writes one record. typ is the SSE event name; NDJSON carries the same
-// discriminator inside the record's "type" field.
-func (b *batchStream) send(typ string, rec any) {
-	body, err := json.Marshal(rec)
-	if err != nil {
-		return
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.sse {
-		fmt.Fprintf(b.w, "event: %s\ndata: %s\n\n", typ, body)
-	} else {
-		b.w.Write(body)
-		b.w.Write([]byte("\n"))
-	}
-	if b.f != nil {
-		b.f.Flush()
-	}
-}
+// The batch stream writer lives in internal/fabric (fabric.RecordStream):
+// the dispatcher's client-facing /v1/batch speaks the identical wire
+// contract, so both endpoints share one implementation — including the
+// structural guarantee that nothing can be written after the terminal
+// "summary" record, and that a record the stream refuses (marshal failure,
+// post-terminal) is counted and logged instead of silently vanishing.
 
 // wantsSSE reports whether the request negotiated Server-Sent Events; the
 // default (and anything ambiguous) is NDJSON.
@@ -100,10 +66,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, err)
 		return
 	}
+	// Expand has already applied WithDefaults per cell (which never fills the
+	// solver), so the shared helper sees exactly the cells whose clients left
+	// the choice open — the same post-defaults point where decodeSpec applies
+	// it for /v1/run, keeping SpecHash (and so the cache key) endpoint-
+	// independent for identical specs.
 	for i := range cells {
-		if s.cfg.DefaultSolver != "" && cells[i].Spec.Platform.Thermal.Solver == "" {
-			cells[i].Spec.Platform.Thermal.Solver = s.cfg.DefaultSolver
-		}
+		fabric.ApplyDefaultSolver(&cells[i].Spec, s.cfg.DefaultSolver)
 	}
 
 	// The sweep dies with the request (client disconnect) or the server
@@ -120,20 +89,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	logger := obs.LoggerFrom(r.Context())
 	logger.Info("batch started", "cells", len(cells), "sse", wantsSSE(r))
 
-	stream := newBatchStream(w, wantsSSE(r))
+	stream := fabric.NewRecordStream(w, wantsSSE(r), func(typ, reason string) {
+		metricBatchDroppedRecords.Inc()
+		logger.Warn("batch dropped stream record", "record", typ, "reason", reason)
+	})
 	began := time.Now()
-	stream.send("sweep", hotpotato.SweepStarted{Type: "sweep", Total: len(cells), RequestID: requestID})
+	stream.Send("sweep", hotpotato.SweepStarted{Type: "sweep", Total: len(cells), RequestID: requestID})
 
 	var done atomic.Int64
+	// stopHeartbeat joins the heartbeat goroutine. It MUST run before the
+	// summary is sent, not on handler return: a late tick racing the terminal
+	// record would put a "progress" after the documented-final "summary"
+	// (stream.Send would refuse and count it, but the contract is to stop the
+	// source, not lean on the guard). The deferred call makes the early
+	// writeError/panic exits safe; stopHeartbeat is idempotent.
+	stopHeartbeat := func() {}
 	if s.cfg.BatchHeartbeat > 0 {
 		tick := time.NewTicker(s.cfg.BatchHeartbeat)
-		defer tick.Stop()
 		hbCtx, hbStop := context.WithCancel(ctx)
 		hbDone := make(chan struct{})
-		// Join the heartbeat goroutine before the handler returns — a send
-		// racing the server's end-of-request work on the ResponseWriter is
-		// undefined behavior.
-		defer func() { hbStop(); <-hbDone }()
+		var hbOnce sync.Once
+		stopHeartbeat = func() {
+			hbOnce.Do(func() {
+				hbStop()
+				<-hbDone
+				tick.Stop()
+			})
+		}
+		defer stopHeartbeat()
 		go func() {
 			defer close(hbDone)
 			for {
@@ -141,7 +124,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				case <-hbCtx.Done():
 					return
 				case <-tick.C:
-					stream.send("progress", hotpotato.SweepProgress{
+					stream.Send("progress", hotpotato.SweepProgress{
 						Type: "progress", Done: int(done.Load()), Total: len(cells),
 						ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
 					})
@@ -153,22 +136,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var completed, failed, canceled, cacheHits int
 	sweepErr := hotpotato.ExecuteSweepCells(ctx, cells, hotpotato.SweepOptions{
 		Workers: s.cfg.Workers,
-		Run: func(ctx context.Context, cell hotpotato.SweepCell) (*hotpotato.Result, bool, error) {
-			// ExecuteSweepCells hands us the canonical spec; its hash is the
-			// cell's cache key.
-			hash, err := hotpotato.SpecHash(cell.Spec)
-			if err != nil {
-				return nil, false, err
-			}
-			span := obs.SpanFromContext(ctx).StartChild("sweep_cell")
-			span.SetAttr("index", fmt.Sprint(cell.Index))
-			span.SetAttr("hash", hash)
-			res, _, cached, err := s.cachedExecute(ctx, cell.Spec, hash)
-			span.SetError(err)
-			span.End()
-			metricBatchCells.Inc()
-			return res, cached, err
-		},
+		Run:     s.ExecuteCell,
 	}, func(cellRes hotpotato.SweepCellResult) {
 		// emit is serialized by ExecuteSweepCells, so the counters are safe.
 		rec := hotpotato.NewSweepResultRecord(cellRes)
@@ -184,11 +152,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			cacheHits++
 		}
 		done.Add(1)
-		stream.send("result", rec)
+		stream.Send("result", rec)
 	})
 
+	// Every result is out and the heartbeat goroutine is joined before the
+	// terminal record goes on the wire — "summary is the last record" holds
+	// by construction, and RecordStream seals the stream right after as a
+	// second line of defense.
+	stopHeartbeat()
+
 	total := len(cells)
-	stream.send("summary", hotpotato.SweepSummary{
+	stream.Send("summary", hotpotato.SweepSummary{
 		Type: "summary", Total: total, Completed: completed, Failed: failed,
 		Canceled: canceled, CacheHits: cacheHits,
 		ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
@@ -196,7 +170,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	logger.Info("batch finished",
 		"cells", total, "completed", completed, "failed", failed,
 		"canceled", canceled, "cache_hits", cacheHits,
+		"dropped_records", stream.Dropped(),
 		"duration_ms", float64(time.Since(began).Nanoseconds())/1e6,
 		"error", errString(sweepErr),
 	)
+}
+
+// ExecuteCell runs one sweep cell through the server's serving stack: spec
+// hash as the cache key, the shared result cache (singleflight included),
+// the worker semaphore, and a span per cell. It is the Run callback of the
+// local /v1/batch pool and, unchanged, the executor a fabric worker plugs
+// into its pull loop — the same function body is what makes a distributed
+// sweep's records bit-identical to a single-node run's. ExecuteCell expects
+// the canonical spec ExecuteSweepCells hands its runner; the reported bool
+// is a cache hit.
+func (s *Server) ExecuteCell(ctx context.Context, cell hotpotato.SweepCell) (*hotpotato.Result, bool, error) {
+	hash, err := hotpotato.SpecHash(cell.Spec)
+	if err != nil {
+		return nil, false, err
+	}
+	span := obs.SpanFromContext(ctx).StartChild("sweep_cell")
+	span.SetAttr("index", fmt.Sprint(cell.Index))
+	span.SetAttr("hash", hash)
+	res, _, cached, err := s.cachedExecute(ctx, cell.Spec, hash)
+	span.SetError(err)
+	span.End()
+	metricBatchCells.Inc()
+	return res, cached, err
 }

@@ -390,3 +390,126 @@ func TestJobsListing(t *testing.T) {
 		t.Errorf("empty filter result: status %d: %s", resp.StatusCode, body)
 	}
 }
+
+// TestBatchSummaryAlwaysLast: regression for the heartbeat-after-summary
+// bug. With a heartbeat cadence far shorter than the sweep, ticks race the
+// terminal record constantly; the handler must join the heartbeat goroutine
+// before sending "summary", so the summary is the stream's last record on
+// every run.
+func TestBatchSummaryAlwaysLast(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, BatchHeartbeat: time.Millisecond})
+
+	for i := 0; i < 5; i++ {
+		_, records := postBatch(t, ts.URL+"/v1/batch", quickSweepJSON)
+		if len(records) == 0 {
+			t.Fatal("empty stream")
+		}
+		last := records[len(records)-1]
+		if last.Type != "summary" {
+			t.Fatalf("run %d: last record is %q, want summary", i, last.Type)
+		}
+		for j, rec := range records[:len(records)-1] {
+			if rec.Type == "summary" {
+				t.Fatalf("run %d: summary at position %d of %d is not terminal", i, j, len(records))
+			}
+		}
+	}
+}
+
+// TestBatchSSEFraming: every SSE event's name matches the "type" field of
+// the data payload it frames, the first event is the "sweep" header, and the
+// last is the terminal "summary".
+func TestBatchSSEFraming(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, BatchHeartbeat: time.Millisecond})
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/batch", strings.NewReader(quickSweepJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	type event struct{ name, typ string }
+	var events []event
+	var pendingName string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			if pendingName != "" {
+				t.Fatalf("event line %q follows unframed event %q", line, pendingName)
+			}
+			pendingName = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if pendingName == "" {
+				t.Fatalf("data line without a preceding event name: %q", line)
+			}
+			var rec batchRecord
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &rec); err != nil {
+				t.Fatalf("bad SSE data: %v\n%s", err, line)
+			}
+			events = append(events, event{pendingName, rec.Type})
+			pendingName = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 6 { // sweep + 4 results + summary
+		t.Fatalf("only %d events for a 4-cell sweep", len(events))
+	}
+	for i, ev := range events {
+		if ev.name != ev.typ {
+			t.Errorf("event %d: SSE name %q but payload type %q", i, ev.name, ev.typ)
+		}
+	}
+	if events[0].name != "sweep" {
+		t.Errorf("first event %q, want sweep", events[0].name)
+	}
+	if last := events[len(events)-1].name; last != "summary" {
+		t.Errorf("last event %q, want summary", last)
+	}
+}
+
+// TestRunBatchSolverDefaultParity: with a service-level -solver default, the
+// same spec must hash identically through POST /v1/run (decodeSpec applies
+// the default post-WithDefaults) and POST /v1/batch (applied per expanded
+// cell) — the cache key contract. The run primes the result cache; the batch
+// cell must then be a cache hit, which can only happen if both endpoints
+// derived the same SpecHash.
+func TestRunBatchSolverDefaultParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, DefaultSolver: "dense"})
+
+	resp, body := postJSON(t, ts.URL+"/v1/run", quickSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, body)
+	}
+	runHash := strings.Trim(resp.Header.Get("ETag"), `"`)
+	if !strings.HasPrefix(runHash, "sha256:") {
+		t.Fatalf("run ETag %q is not a spec hash", runHash)
+	}
+
+	sweep := `{"base": ` + quickSpecJSON + `}`
+	_, records := postBatch(t, ts.URL+"/v1/batch", sweep)
+	var cell *batchRecord
+	for i := range records {
+		if records[i].Type == "result" {
+			cell = &records[i]
+		}
+	}
+	if cell == nil {
+		t.Fatal("no result record in the batch stream")
+	}
+	if cell.Hash != runHash {
+		t.Errorf("batch cell hash %q != run hash %q: endpoints disagree on the canonical spec", cell.Hash, runHash)
+	}
+	if !cell.Cached {
+		t.Error("batch cell missed the cache primed by /v1/run: cache keys diverge between endpoints")
+	}
+}

@@ -42,4 +42,8 @@ var (
 		"Sweep cells executed (or served from cache) across all batches.")
 	metricBatchRejected = obs.NewCounter("service_batch_rejected_total",
 		"Sweeps answered 413 because the cross-product exceeded the admission limit.")
+	metricBatchDroppedRecords = obs.NewCounter("service_batch_dropped_records_total",
+		"Stream records /v1/batch refused to write (marshal failure or post-summary).")
+	metricResultCacheAbandoned = obs.NewCounter("service_result_cache_abandoned_total",
+		"Followers that re-ran a spec uncached after their singleflight leader abandoned it.")
 )

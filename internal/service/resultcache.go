@@ -44,6 +44,7 @@ type ResultCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	abandoned atomic.Int64
 }
 
 // resultEntry is one singleflight slot: the leader fulfills (or abandons),
@@ -160,6 +161,23 @@ func (c *ResultCache) RecordHit() {
 	c.hits.Add(1)
 	metricResultCacheHits.Inc()
 }
+
+// RecordAbandonedFallback counts a follower whose leader abandoned the slot:
+// the follower re-ran the spec uncached. That run is a miss (the cache did
+// not serve it) — Lookup only counted the leader's miss, so without this the
+// fallback would vanish from the hit/miss ledger entirely and the hit ratio
+// would overstate the cache. The dedicated abandoned counter additionally
+// makes leader churn (disconnect-heavy clients) visible on its own.
+func (c *ResultCache) RecordAbandonedFallback() {
+	c.misses.Add(1)
+	metricResultCacheMisses.Inc()
+	c.abandoned.Add(1)
+	metricResultCacheAbandoned.Inc()
+}
+
+// AbandonedFallbacks returns how many followers fell back to an uncached run
+// after their leader abandoned the slot.
+func (c *ResultCache) AbandonedFallbacks() int64 { return c.abandoned.Load() }
 
 // Len returns how many fulfilled results are cached.
 func (c *ResultCache) Len() int {

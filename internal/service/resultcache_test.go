@@ -297,3 +297,43 @@ func TestResultCacheDisabled(t *testing.T) {
 		}
 	}
 }
+
+// TestResultCacheAbandonedFallbackAccounting: a follower whose leader
+// abandons the slot re-runs uncached; before the abandoned counter existed
+// that run was neither hit nor miss, silently inflating the hit ratio. The
+// fallback must count as a miss plus one abandoned-fallback.
+func TestResultCacheAbandonedFallbackAccounting(t *testing.T) {
+	c := NewResultCache(4)
+	const h = "sha256:deadbeef"
+
+	if _, leader := c.Lookup(h); !leader {
+		t.Fatal("first lookup should lead")
+	}
+	entry, leader := c.Lookup(h)
+	if leader {
+		t.Fatal("second lookup should follow")
+	}
+
+	woken := make(chan bool, 1)
+	go func() {
+		_, _, ok := entry.Wait(context.Background())
+		woken <- ok
+	}()
+	c.Abandon(h)
+	if ok := <-woken; ok {
+		t.Fatal("follower woken by Abandon reported a cached outcome")
+	}
+	// The follower now re-runs uncached — the serving layer records that.
+	c.RecordAbandonedFallback()
+
+	hits, misses, _ := c.Stats()
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0", hits)
+	}
+	if misses != 2 { // leader's miss + the abandoned fallback
+		t.Errorf("misses = %d, want 2 (leader + abandoned fallback)", misses)
+	}
+	if got := c.AbandonedFallbacks(); got != 1 {
+		t.Errorf("AbandonedFallbacks = %d, want 1", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	hotpotato "repro"
+	"repro/internal/fabric"
 	"repro/internal/obs"
 )
 
@@ -355,12 +356,11 @@ func (s *Server) decodeSpec(w http.ResponseWriter, r *http.Request) (hotpotato.R
 		return spec, false
 	}
 	spec = spec.WithDefaults()
-	// The service-level solver default fills only specs that left the
-	// choice open; WithDefaults never sets a solver, so the field is still
-	// "" unless the client chose one.
-	if s.cfg.DefaultSolver != "" && spec.Platform.Thermal.Solver == "" {
-		spec.Platform.Thermal.Solver = s.cfg.DefaultSolver
-	}
+	// The service-level solver default fills only specs that left the choice
+	// open. The shared helper is the same one /v1/batch applies per expanded
+	// cell (and the fabric dispatcher fleet-wide), so one spec yields one
+	// SpecHash through every door.
+	fabric.ApplyDefaultSolver(&spec, s.cfg.DefaultSolver)
 	if err := spec.Validate(); err != nil {
 		metricBadRequests.Inc()
 		obs.LoggerFrom(r.Context()).Warn("bad request", "reason", "invalid RunSpec", "error", err.Error())
@@ -416,7 +416,9 @@ func (s *Server) cachedExecute(ctx context.Context, spec hotpotato.RunSpec, hash
 		}
 		// The leader abandoned (its run failed transiently); run it ourselves
 		// without re-entering the cache, so concurrent fallbacks cannot
-		// re-elect each other forever.
+		// re-elect each other forever. This uncached re-run is a miss the
+		// Lookup above did not count (only leaders count there).
+		s.results.RecordAbandonedFallback()
 		res, prof, err := s.execute(ctx, spec, nil)
 		return res, prof, false, err
 	}
@@ -661,6 +663,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		body["result_cache_hits"] = rHits
 		body["result_cache_misses"] = rMisses
 		body["result_cache_evictions"] = rEvictions
+		body["result_cache_abandoned"] = s.results.AbandonedFallbacks()
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	hotpotato "repro"
+	"repro/internal/fabric"
 )
 
 // quickSpecJSON is a fast 4×4 run in the minimal wire form a client would
@@ -515,4 +516,40 @@ func getJSON(t *testing.T, url string) (*http.Response, []byte) {
 		t.Fatal(err)
 	}
 	return resp, buf.Bytes()
+}
+
+// TestWithDefaultsLeavesSolverEmpty pins the invariant the solver-default
+// unification rests on: WithDefaults (and so Expand, which applies it per
+// cell) never fills platform.thermal.solver. If a future default changed
+// that, fabric.ApplyDefaultSolver would become a no-op everywhere and the
+// -solver flag would silently die — this test makes that loud.
+func TestWithDefaultsLeavesSolverEmpty(t *testing.T) {
+	var spec hotpotato.RunSpec
+	if err := json.Unmarshal([]byte(quickSpecJSON), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.WithDefaults().Platform.Thermal.Solver; got != "" {
+		t.Fatalf("WithDefaults set solver %q; the service-level default would never apply", got)
+	}
+
+	sweep := hotpotato.SweepSpec{Base: spec}
+	cells, err := sweep.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		if got := cell.Spec.Platform.Thermal.Solver; got != "" {
+			t.Fatalf("Expand set solver %q on cell %d", got, cell.Index)
+		}
+	}
+
+	// And the helper itself: fills empty, respects explicit.
+	fabric.ApplyDefaultSolver(&spec, "dense")
+	if spec.Platform.Thermal.Solver != "dense" {
+		t.Fatal("ApplyDefaultSolver did not fill an empty solver")
+	}
+	fabric.ApplyDefaultSolver(&spec, "sparse")
+	if spec.Platform.Thermal.Solver != "dense" {
+		t.Fatal("ApplyDefaultSolver overwrote an explicit solver")
+	}
 }

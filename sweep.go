@@ -348,6 +348,9 @@ type (
 		Type      string `json:"type"`
 		Total     int    `json:"total"`
 		RequestID string `json:"request_id,omitempty"`
+		// SweepID names the sweep in the dispatcher's archive; only the
+		// fabric dispatcher sets it (single-node streams omit it).
+		SweepID string `json:"sweep_id,omitempty"`
 	}
 	// SweepResultRecord is one finished cell. Status is "ok" (Result
 	// present; Error names a MaxTime stop when set), "failed", or
