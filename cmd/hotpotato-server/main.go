@@ -43,6 +43,7 @@ func main() {
 	traceDepth := flag.Int("trace-depth", 0, "scheduler epochs retained per async job for /v1/jobs/{id}/trace (0 = 4096, negative = disable)")
 	spanDepth := flag.Int("span-depth", 0, "spans retained per async job for /v1/jobs/{id}/spans (0 = 8192, negative = disable)")
 	solver := flag.String("solver", "", "default thermal solver for specs that leave platform.thermal.solver empty: auto|dense|sparse")
+	twinModel := flag.String("twin-model", "", "analytical-twin calibration artifact (TWIN_model.json) backing POST /v1/predict and sweep pruning; empty disables both")
 	resultCache := flag.Int("result-cache-entries", 0, "content-addressed result cache capacity in entries (0 = 256, negative = disable)")
 	maxSweepCells := flag.Int("max-sweep-cells", 0, "largest sweep cross-product /v1/batch accepts (0 = 1024)")
 	batchHeartbeat := flag.Duration("batch-heartbeat", 0, "interval between /v1/batch progress records (0 = 10s, negative = disable)")
@@ -66,6 +67,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var twin *hotpotato.TwinModel
+	if *twinModel != "" {
+		twin, err = hotpotato.LoadTwinModelFile(*twinModel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		logger.Info("twin model loaded", "path", *twinModel, "hash", twin.Hash)
+	}
 
 	svc := service.New(service.Config{
 		Workers: *workers, QueueDepth: *queue,
@@ -75,6 +85,7 @@ func main() {
 		MaxSweepCells:      *maxSweepCells,
 		BatchHeartbeat:     *batchHeartbeat,
 		Logger:             logger,
+		TwinModel:          twin,
 	})
 	handler := svc.Handler()
 	if *enablePprof {

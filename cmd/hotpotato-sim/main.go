@@ -59,6 +59,11 @@ func main() {
 	spansOut := flag.String("spans", "", "write the run's span tree as JSON lines to this file")
 	sweepFile := flag.String("sweep", "", "run a SweepSpec JSON file (\"-\" = stdin) and stream NDJSON results to stdout; ignores the single-run flags")
 	sweepWorkers := flag.Int("sweep-workers", 0, "concurrent cells for -sweep (0 = GOMAXPROCS)")
+	twinModel := flag.String("twin-model", "", "analytical-twin artifact (TWIN_model.json) enabling prune_above_temp cell pruning for -sweep")
+	calibrate := flag.String("calibrate", "", "calibrate the analytical twin against the simulator and write the artifact to this path; ignores the other flags")
+	calSeed := flag.Int64("calibrate-seed", 0, "calibration design-grid seed (0 = the committed artifact's recipe)")
+	calSamples := flag.Int("calibrate-samples", 0, "full-simulation oracle samples per bucket (0 = default recipe)")
+	calRings := flag.Int("calibrate-ring-samples", 0, "Algorithm 1 oracle samples per bucket (0 = default recipe)")
 	logLevel := flag.String("log-level", "warn", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "text", "log format: json|text")
 	flag.Parse()
@@ -70,8 +75,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *calibrate != "" {
+		runCalibrate(*calibrate, *calSeed, *calSamples, *calRings)
+		return
+	}
 	if *sweepFile != "" {
-		runSweep(*sweepFile, *sweepWorkers)
+		runSweep(*sweepFile, *sweepWorkers, *twinModel)
 		return
 	}
 
@@ -247,7 +256,7 @@ func main() {
 // same tooling consumes both. Ctrl-C cancels: in-flight cells stop at their
 // next scheduler epoch and the remainder is reported "canceled", but the
 // stream still ends with its summary.
-func runSweep(path string, workers int) {
+func runSweep(path string, workers int, twinPath string) {
 	in := os.Stdin
 	if path != "-" {
 		f, err := os.Open(path)
@@ -264,6 +273,15 @@ func runSweep(path string, workers int) {
 	if err := sweep.Validate(); err != nil {
 		fatal(err)
 	}
+	// Pruning needs both halves: a sweep that opts in and a loaded model.
+	var prune func(context.Context, hotpotato.SweepCell) (hotpotato.PruneDecision, bool)
+	if twinPath != "" && sweep.PruneAboveTemp != nil {
+		twin, err := hotpotato.LoadTwinModelFile(twinPath)
+		if err != nil {
+			fatal(err)
+		}
+		prune = hotpotato.NewTwinSweepPruner(twin, *sweep.PruneAboveTemp)
+	}
 
 	ctx, stop := signal.NotifyContext(
 		hotpotato.ContextWithLogger(context.Background(), logger),
@@ -277,18 +295,11 @@ func runSweep(path string, workers int) {
 	}
 
 	began := time.Now()
-	var completed, failed, canceled int
-	err := hotpotato.ExecuteSweep(ctx, sweep, hotpotato.SweepOptions{Workers: workers},
+	summary := hotpotato.SweepSummary{Type: "summary", Total: total}
+	err := hotpotato.ExecuteSweep(ctx, sweep, hotpotato.SweepOptions{Workers: workers, Prune: prune},
 		func(r hotpotato.SweepCellResult) {
 			rec := hotpotato.NewSweepResultRecord(r)
-			switch rec.Status {
-			case "ok":
-				completed++
-			case "canceled":
-				canceled++
-			default:
-				failed++
-			}
+			summary.Observe(rec)
 			if err := enc.Encode(rec); err != nil {
 				fatal(err)
 			}
@@ -297,16 +308,53 @@ func runSweep(path string, workers int) {
 		// Validation or expansion failure: nothing streamed beyond the header.
 		fatal(err)
 	}
-	if err := enc.Encode(hotpotato.SweepSummary{
-		Type: "summary", Total: total, Completed: completed, Failed: failed,
-		Canceled:  canceled,
-		ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
-	}); err != nil {
+	summary.ElapsedMS = float64(time.Since(began).Nanoseconds()) / 1e6
+	if err := enc.Encode(summary); err != nil {
 		fatal(err)
 	}
-	if failed > 0 || canceled > 0 {
+	if summary.Failed > 0 || summary.Canceled > 0 {
 		os.Exit(1)
 	}
+}
+
+// runCalibrate fits the analytical twin against the full simulator and writes
+// the versioned artifact. Zero-valued tuning flags keep the committed
+// artifact's recipe, so a bare `-calibrate TWIN_model.json` reproduces it
+// byte for byte (the content hash is printed for comparison).
+func runCalibrate(path string, seed int64, samples, ringSamples int) {
+	cal := hotpotato.DefaultTwinCalibration()
+	if seed != 0 {
+		cal.Seed = seed
+	}
+	if samples != 0 {
+		cal.Samples = samples
+	}
+	if ringSamples != 0 {
+		cal.RingSamples = ringSamples
+	}
+
+	ctx, stop := signal.NotifyContext(
+		hotpotato.ContextWithLogger(context.Background(), logger),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	began := time.Now()
+	model, err := hotpotato.CalibrateTwin(ctx, cal)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := model.Encode()
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("twin model:    %s (%d bytes)\n", path, len(data))
+	fmt.Printf("hash:          %s\n", model.Hash)
+	fmt.Printf("buckets:       %d (seed %d, %d+%d samples each)\n",
+		len(model.Buckets), cal.Seed, cal.Samples, cal.RingSamples)
+	fmt.Printf("calibration:   %.1f s\n", time.Since(began).Seconds())
 }
 
 // writeSpans dumps the recorder as JSON lines to path.

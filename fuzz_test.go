@@ -3,6 +3,7 @@ package hotpotato
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"reflect"
 	"testing"
 )
@@ -89,6 +90,110 @@ func FuzzDecodeRunSpec(f *testing.F) {
 		}
 		if h1 != h2 {
 			t.Errorf("round trip changed the hash: %s vs %s\n%s", h1, h2, first)
+		}
+	})
+}
+
+// FuzzDecodePredictSpec throws arbitrary bytes at the PredictSpec wire path —
+// the exact code POST /v1/predict runs on untrusted request bodies.
+// Properties:
+//
+//  1. Decode, WithDefaults, and Validate never panic, whatever the input.
+//  2. Valid specs hash stably through a marshal round trip, because the
+//     prediction ETag is built from that hash.
+//
+// The committed seed corpus lives under testdata/fuzz/FuzzDecodePredictSpec/.
+func FuzzDecodePredictSpec(f *testing.F) {
+	seeds := []string{
+		// An in-domain document (the docs/API.md predict example).
+		`{"platform": {"width": 4, "height": 4}, "scheduler": {"name": "static", "pins": {"0:0": 0, "0:1": 5}}, "workload": {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.05}]}}`,
+		// Well-formed but out-of-domain (the twin rejects, the decoder must not).
+		`{"scheduler": {"name": "hotpotato"}, "workload": {"kind": "random", "count": 4, "rate": 100}}`,
+		`{"platform": {"width": 3, "height": 3}, "scheduler": {"name": "static"}, "workload": {"kind": "homogeneous", "bench": "x264"}}`,
+		// Degenerate inputs.
+		`{}`, `null`, `[]`, `{"platform": {"width": 1e309}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec PredictSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			return
+		}
+		spec.RunSpec = spec.RunSpec.WithDefaults()
+		if spec.RunSpec.Validate() != nil {
+			return
+		}
+		h1, err := SpecHash(spec.RunSpec)
+		if err != nil {
+			t.Fatalf("valid spec does not hash: %v", err)
+		}
+		wire, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec does not marshal: %v", err)
+		}
+		var back PredictSpec
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("marshaled spec does not decode: %v\n%s", err, wire)
+		}
+		back.RunSpec = back.RunSpec.WithDefaults()
+		h2, err := SpecHash(back.RunSpec)
+		if err != nil {
+			t.Fatalf("round-tripped spec does not hash: %v", err)
+		}
+		if h1 != h2 {
+			t.Errorf("round trip changed the hash: %s vs %s\n%s", h1, h2, wire)
+		}
+	})
+}
+
+// FuzzTwinModelLoad throws arbitrary bytes at the calibration-artifact loader
+// — the code behind the -twin-model flag. Corrupt, truncated, or tampered
+// input must be rejected with an error, never a panic; anything accepted must
+// be a fully valid model whose embedded hash verifies and which survives an
+// Encode → Load round trip. The committed seed corpus under
+// testdata/fuzz/FuzzTwinModelLoad/ includes the shipped TWIN_model.json and
+// systematic corruptions of it.
+func FuzzTwinModelLoad(f *testing.F) {
+	if artifact, err := os.ReadFile("TWIN_model.json"); err == nil {
+		f.Add(artifact)
+		f.Add(artifact[:len(artifact)/2])
+		f.Add(bytes.Replace(artifact, []byte(`"seed": 1`), []byte(`"seed": 3`), 1))
+		f.Add(bytes.Replace(artifact, []byte(`twin-v1`), []byte(`twin-v9`), 1))
+	}
+	for _, s := range []string{
+		``, `{}`, `null`, `[]`, `not json`,
+		`{"version": "twin-v1", "hash": "sha256:00", "seed": 1, "buckets": {}}`,
+		`{"version": "twin-v1", "hash": "", "seed": 1, "buckets": {"4x4": {"width": 4, "height": 4}}}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		model, err := LoadTwinModel(data)
+		if err != nil {
+			return // rejection is the expected outcome for hostile input
+		}
+		if err := model.Validate(); err != nil {
+			t.Fatalf("Load accepted a model Validate rejects: %v", err)
+		}
+		hash, err := model.ComputeHash()
+		if err != nil {
+			t.Fatalf("accepted model does not hash: %v", err)
+		}
+		if hash != model.Hash {
+			t.Fatalf("accepted model's embedded hash %s != recomputed %s", model.Hash, hash)
+		}
+		enc, err := model.Encode()
+		if err != nil {
+			t.Fatalf("accepted model does not encode: %v", err)
+		}
+		back, err := LoadTwinModel(enc)
+		if err != nil {
+			t.Fatalf("Encode output does not re-Load: %v", err)
+		}
+		if back.Hash != model.Hash {
+			t.Errorf("Encode → Load changed the hash: %s vs %s", back.Hash, model.Hash)
 		}
 	})
 }

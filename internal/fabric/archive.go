@@ -36,6 +36,7 @@ type Manifest struct {
 	Completed int     `json:"completed"`
 	Failed    int     `json:"failed"`
 	Canceled  int     `json:"canceled"`
+	Pruned    int     `json:"pruned"`
 	CacheHits int     `json:"cache_hits"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 }

@@ -103,7 +103,7 @@ type sweepState struct {
 	canceled bool
 	began    time.Time
 
-	completed, failed, canceledN, cacheHits int
+	completed, failed, canceledN, prunedN, cacheHits int
 }
 
 // lease is one booked batch of cells (all from one sweep).
@@ -209,11 +209,11 @@ type Sweep struct {
 func (s *Sweep) Records() <-chan hotpotato.SweepResultRecord { return s.st.records }
 
 // Counts returns the sweep's tallies so far (completed, failed, canceled,
-// cache hits — archive hits and worker-cache hits both count).
-func (s *Sweep) Counts() (completed, failed, canceled, cacheHits int) {
+// pruned, cache hits — archive hits and worker-cache hits both count).
+func (s *Sweep) Counts() (completed, failed, canceled, pruned, cacheHits int) {
 	s.d.mu.Lock()
 	defer s.d.mu.Unlock()
-	return s.st.completed, s.st.failed, s.st.canceledN, s.st.cacheHits
+	return s.st.completed, s.st.failed, s.st.canceledN, s.st.prunedN, s.st.cacheHits
 }
 
 // Cancel aborts the sweep: pending cells are dropped, leased cells' late
@@ -490,6 +490,9 @@ func (d *Dispatcher) finishCellLocked(t *cellTask, rec hotpotato.SweepResultReco
 	case "canceled":
 		t.state = cellDone
 		sw.canceledN++
+	case "pruned":
+		t.state = cellDone
+		sw.prunedN++
 	default:
 		t.state = cellFailed
 		sw.failed++
@@ -525,6 +528,7 @@ func (d *Dispatcher) closeSweepLocked(sw *sweepState) {
 			SweepID: sw.id, RequestID: sw.requestID,
 			Total: sw.total, Completed: sw.completed, Failed: sw.failed,
 			Canceled:  sw.canceledN,
+			Pruned:    sw.prunedN,
 			CacheHits: sw.cacheHits,
 			ElapsedMS: float64(d.clock.Now().Sub(sw.began).Nanoseconds()) / 1e6,
 		}

@@ -37,10 +37,6 @@ const e2eSweepJSON = `{
 }`
 
 func TestFabricEndToEndWorkerDeathParity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-second fabric e2e")
-	}
-
 	d := fabric.NewDispatcher(fabric.Config{
 		LeaseTTL:   time.Second,
 		LeaseCells: 1, // one cell per lease spreads the sweep across workers

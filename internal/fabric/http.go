@@ -151,18 +151,19 @@ stream:
 		}
 	}
 
-	completed, failed, canceled, cacheHits := sweep.Counts()
+	completed, failed, canceled, pruned, cacheHits := sweep.Counts()
 	// The select loop is the only sender and it has exited, so nothing can
 	// interleave after this terminal record (and RecordStream would refuse
 	// it anyway).
 	stream.Send("summary", hotpotato.SweepSummary{
 		Type: "summary", Total: sweep.Total, Completed: completed, Failed: failed,
-		Canceled: canceled, CacheHits: cacheHits,
+		Canceled: canceled, Pruned: pruned, CacheHits: cacheHits,
 		ElapsedMS: float64(d.clock.Now().Sub(began).Nanoseconds()) / 1e6,
 	})
 	d.logger.Info("fabric batch finished",
 		"sweep", sweep.ID, "completed", completed, "failed", failed,
-		"canceled", canceled, "cache_hits", cacheHits, "dropped", stream.Dropped())
+		"canceled", canceled, "pruned", pruned, "cache_hits", cacheHits,
+		"dropped", stream.Dropped())
 }
 
 func (d *Dispatcher) handleHealth(w http.ResponseWriter, r *http.Request) {

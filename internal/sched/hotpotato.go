@@ -63,6 +63,13 @@ type HotPotato struct {
 	// candidate frequency.
 	powerScale float64
 	idleWatts  float64
+
+	// estimator, when non-nil, pre-filters the per-ring Algorithm 1
+	// evaluations (see RingPeakEstimator). estimatorHits/Fallbacks count the
+	// outcomes for instrumentation.
+	estimator          RingPeakEstimator
+	estimatorHits      int
+	estimatorFallbacks int
 }
 
 type slotEntry struct {
@@ -71,6 +78,26 @@ type slotEntry struct {
 }
 
 type slotRef struct{ ring, slot int }
+
+// RingPeakEstimator is an optional surrogate for Algorithm 1's ring
+// evaluation (the analytical-twin pre-filter): given the same inputs as
+// rotation.RingEvaluator.PeakRingRotation, it returns a peak estimate, a
+// conservative error bound, and whether the bound is backed by calibration
+// evidence. HotPotato consults it per ring and only trusts an answer that is
+// conclusive AND places the ring strictly on one side of the decision
+// threshold T_DTM − Δ; everything else falls back to the exact evaluation,
+// which keeps scheduling decisions bit-identical to stock HotPotato.
+// Implementations must be safe for the scheduler's goroutine and must not
+// allocate (the Decide path is allocation-audited).
+type RingPeakEstimator interface {
+	EstimateRingPeak(tau float64, base []float64, ringCores []int, slotWatts []float64) (peakC, boundC float64, conclusive bool)
+}
+
+// WithRingEstimator installs a twin-backed pre-filter for the Algorithm 1
+// ring evaluations. A nil estimator (the default) is stock HotPotato.
+func WithRingEstimator(e RingPeakEstimator) HotPotatoOption {
+	return func(h *HotPotato) { h.estimator = e }
+}
 
 // HotPotatoOption customises the scheduler.
 type HotPotatoOption func(*HotPotato)
@@ -485,6 +512,24 @@ func (h *HotPotato) evalPeak(st *sim.State, live map[sim.ThreadID]sim.ThreadInfo
 			}
 			slotWatts = append(slotWatts, w)
 		}
+		// Twin pre-filter: every caller of evalPeak compares the result only
+		// against the decision threshold T_DTM − Δ, so a conclusive estimate
+		// that bounds this ring strictly under (est+bound) or at/over
+		// (est−bound) the threshold can stand in for the exact evaluation
+		// without changing any decision. Inconclusive or straddling answers
+		// fall back to Algorithm 1 — the default, and the bit-identical path.
+		if h.estimator != nil {
+			limit := h.tdtm - h.delta
+			est, bound, ok := h.estimator.EstimateRingPeak(h.tau, base, ring.Cores, slotWatts)
+			if ok && (est+bound < limit || est-bound >= limit) {
+				h.estimatorHits++
+				if est > peak {
+					peak = est
+				}
+				continue
+			}
+			h.estimatorFallbacks++
+		}
 		t, err := h.ringEval.PeakRingRotation(h.tau, base, ring.Cores, slotWatts)
 		if err != nil {
 			// An invalid plan here is a programming error; fail safe by
@@ -496,6 +541,12 @@ func (h *HotPotato) evalPeak(st *sim.State, live map[sim.ThreadID]sim.ThreadInfo
 		}
 	}
 	return peak
+}
+
+// EstimatorStats reports how many per-ring evaluations the twin pre-filter
+// answered conclusively and how many fell back to the exact Algorithm 1 path.
+func (h *HotPotato) EstimatorStats() (hits, fallbacks int) {
+	return h.estimatorHits, h.estimatorFallbacks
 }
 
 // evalStaticPeak is the non-rotating (τ stopped) safety check: the

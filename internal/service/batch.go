@@ -133,23 +133,25 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
-	var completed, failed, canceled, cacheHits int
+	// A sweep that asks for pruning gets it only when the server holds a twin
+	// model; without one every cell simulates (the stream stays well-formed,
+	// just without "pruned" records).
+	var prune func(context.Context, hotpotato.SweepCell) (hotpotato.PruneDecision, bool)
+	if sweep.PruneAboveTemp != nil && s.twin != nil {
+		prune = hotpotato.NewTwinSweepPruner(s.twin, *sweep.PruneAboveTemp)
+	}
+
+	summary := hotpotato.SweepSummary{Type: "summary", Total: len(cells)}
 	sweepErr := hotpotato.ExecuteSweepCells(ctx, cells, hotpotato.SweepOptions{
 		Workers: s.cfg.Workers,
 		Run:     s.ExecuteCell,
+		Prune:   prune,
 	}, func(cellRes hotpotato.SweepCellResult) {
 		// emit is serialized by ExecuteSweepCells, so the counters are safe.
 		rec := hotpotato.NewSweepResultRecord(cellRes)
-		switch rec.Status {
-		case "ok":
-			completed++
-		case "canceled":
-			canceled++
-		default:
-			failed++
-		}
-		if rec.Cached {
-			cacheHits++
+		summary.Observe(rec)
+		if rec.Status == "pruned" {
+			metricBatchPruned.Inc()
 		}
 		done.Add(1)
 		stream.Send("result", rec)
@@ -161,17 +163,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// second line of defense.
 	stopHeartbeat()
 
-	total := len(cells)
-	stream.Send("summary", hotpotato.SweepSummary{
-		Type: "summary", Total: total, Completed: completed, Failed: failed,
-		Canceled: canceled, CacheHits: cacheHits,
-		ElapsedMS: float64(time.Since(began).Nanoseconds()) / 1e6,
-	})
+	summary.ElapsedMS = float64(time.Since(began).Nanoseconds()) / 1e6
+	stream.Send("summary", summary)
 	logger.Info("batch finished",
-		"cells", total, "completed", completed, "failed", failed,
-		"canceled", canceled, "cache_hits", cacheHits,
+		"cells", summary.Total, "completed", summary.Completed,
+		"failed", summary.Failed, "canceled", summary.Canceled,
+		"pruned", summary.Pruned, "cache_hits", summary.CacheHits,
 		"dropped_records", stream.Dropped(),
-		"duration_ms", float64(time.Since(began).Nanoseconds())/1e6,
+		"duration_ms", summary.ElapsedMS,
 		"error", errString(sweepErr),
 	)
 }

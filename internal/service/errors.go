@@ -20,6 +20,9 @@ const (
 	// CodeTooLarge (413): the sweep's cross-product exceeds the server's
 	// admission limit.
 	CodeTooLarge = "too_large"
+	// CodeOutOfDomain (422): the spec is well-formed but outside the
+	// analytical twin's calibrated domain; run the full simulator instead.
+	CodeOutOfDomain = "out_of_domain"
 	// CodeOverCapacity (429): the async job queue is full; retry later.
 	CodeOverCapacity = "over_capacity"
 	// CodeUnavailable (503): the server is shutting down or the run was
@@ -52,6 +55,8 @@ func errorCode(status int) string {
 		return CodeNotFound
 	case http.StatusRequestEntityTooLarge:
 		return CodeTooLarge
+	case http.StatusUnprocessableEntity:
+		return CodeOutOfDomain
 	case http.StatusTooManyRequests:
 		return CodeOverCapacity
 	case http.StatusServiceUnavailable:

@@ -46,4 +46,10 @@ var (
 		"Stream records /v1/batch refused to write (marshal failure or post-summary).")
 	metricResultCacheAbandoned = obs.NewCounter("service_result_cache_abandoned_total",
 		"Followers that re-ran a spec uncached after their singleflight leader abandoned it.")
+	metricPredictRequests = obs.NewCounter("service_predict_requests_total",
+		"POST /v1/predict requests answered by the analytical twin.")
+	metricPredictDomainRejected = obs.NewCounter("service_predict_domain_rejected_total",
+		"Predict requests answered 422 because the spec lies outside the twin's calibrated domain.")
+	metricBatchPruned = obs.NewCounter("service_batch_pruned_total",
+		"Sweep cells skipped by the twin pruner across all batches.")
 )

@@ -1,0 +1,288 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	hotpotato "repro"
+)
+
+// inDomainSpecJSON is a run the analytical twin can answer conclusively:
+// default 4×4 substrates, the static pinner, an explicit workload, hardware
+// DTM off (with DTM on, a transient estimate that cannot rule the trip out is
+// demoted to inconclusive — see TwinPredict).
+const inDomainSpecJSON = `{
+	"platform":  {"width": 4, "height": 4},
+	"scheduler": {"name": "static"},
+	"sim":       {"dtm_enabled": false},
+	"workload":  {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.3}]}
+}`
+
+// testTwinModel loads the committed calibration artifact from the repo root.
+func testTwinModel(t *testing.T) *hotpotato.TwinModel {
+	t.Helper()
+	model, err := hotpotato.LoadTwinModelFile("../../TWIN_model.json")
+	if err != nil {
+		t.Fatalf("loading committed TWIN_model.json: %v", err)
+	}
+	return model
+}
+
+func decodePrediction(t *testing.T, body []byte) (pred struct {
+	Prediction   hotpotato.TwinPrediction `json:"prediction"`
+	ModelVersion string                   `json:"model_version"`
+	ModelHash    string                   `json:"model_hash"`
+	SpecHash     string                   `json:"spec_hash"`
+}) {
+	t.Helper()
+	if err := json.Unmarshal(body, &pred); err != nil {
+		t.Fatalf("decoding predict response: %v\n%s", err, body)
+	}
+	return pred
+}
+
+func TestPredictWithoutModelUnavailable(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/predict", inDomainSpecJSON)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 when no -twin-model is loaded", resp.StatusCode)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("non-envelope error body: %v\n%s", err, body)
+	}
+	if env.Error.Code != CodeUnavailable {
+		t.Errorf("code %q, want %q", env.Error.Code, CodeUnavailable)
+	}
+	if !strings.Contains(env.Error.Message, "twin-model") {
+		t.Errorf("message does not point at the flag: %q", env.Error.Message)
+	}
+}
+
+func TestPredictBadBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, TwinModel: testTwinModel(t)})
+	for _, body := range []string{`{`, `{"platform": {"width": -4}}`} {
+		resp, raw := postJSON(t, ts.URL+"/v1/predict", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: status %d, want 400", body, resp.StatusCode)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("non-envelope error body: %v\n%s", err, raw)
+		}
+		if env.Error.Code != CodeInvalidRequest {
+			t.Errorf("POST %q: code %q, want %q", body, env.Error.Code, CodeInvalidRequest)
+		}
+	}
+}
+
+func TestPredictOutOfDomain(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, TwinModel: testTwinModel(t)})
+	cases := map[string]string{
+		// The twin is calibrated for the static pinner only.
+		"scheduler": quickSpecJSON,
+		// 5×5 is not a calibrated bucket.
+		"bucket": `{"platform": {"width": 5, "height": 5}, "scheduler": {"name": "static"},
+			"workload": {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.3}]}}`,
+	}
+	for name, spec := range cases {
+		resp, raw := postJSON(t, ts.URL+"/v1/predict", spec)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s: status %d, want 422", name, resp.StatusCode)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(raw, &env); err != nil {
+			t.Fatalf("%s: non-envelope error body: %v\n%s", name, err, raw)
+		}
+		if env.Error.Code != CodeOutOfDomain {
+			t.Errorf("%s: code %q, want %q", name, env.Error.Code, CodeOutOfDomain)
+		}
+	}
+}
+
+// TestPredictAnswersAndBoundHolds is the endpoint's acceptance test: an
+// in-domain spec gets finite estimates with positive bounds, the response is
+// deterministic (bit-identical replays, ETag → 304), and the transient-peak
+// bound actually contains the simulator's answer from /v1/run.
+func TestPredictAnswersAndBoundHolds(t *testing.T) {
+	model := testTwinModel(t)
+	_, ts := newTestServer(t, Config{Workers: 2, TwinModel: model})
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", inDomainSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Error("200 response carries no ETag")
+	}
+	pred := decodePrediction(t, body)
+	if pred.ModelHash != model.Hash || pred.ModelVersion != model.Version {
+		t.Errorf("model identity %s/%s, want %s/%s", pred.ModelVersion, pred.ModelHash, model.Version, model.Hash)
+	}
+	if !strings.HasPrefix(pred.SpecHash, "sha256:") {
+		t.Errorf("spec hash %q", pred.SpecHash)
+	}
+	for name, f := range map[string]hotpotato.TwinField{
+		"peak_steady_c":    pred.Prediction.SteadyPeakC,
+		"peak_transient_c": pred.Prediction.TransientPeakC,
+		"makespan_s":       pred.Prediction.MakespanS,
+	} {
+		if !f.Conclusive {
+			t.Errorf("%s inconclusive for the in-domain spec", name)
+		}
+		if math.IsNaN(f.Estimate) || math.IsInf(f.Estimate, 0) || !(f.Bound > 0) || math.IsInf(f.Bound, 0) {
+			t.Errorf("%s: estimate %g bound %g, want finite estimate and positive finite bound", name, f.Estimate, f.Bound)
+		}
+	}
+
+	// Bit-identical replay: the response is a pure function of (spec, model).
+	_, again := postJSON(t, ts.URL+"/v1/predict", inDomainSpecJSON)
+	if string(body) != string(again) {
+		t.Errorf("replayed prediction differs:\n%s\n%s", body, again)
+	}
+
+	// Conditional replay: the ETag covers spec hash and model hash.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/predict", strings.NewReader(inDomainSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	condResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condResp.Body.Close()
+	if condResp.StatusCode != http.StatusNotModified {
+		t.Errorf("If-None-Match replay: status %d, want 304", condResp.StatusCode)
+	}
+
+	// Simulator-as-oracle: run the same spec for real and hold the bound.
+	runResp, runBody := postJSON(t, ts.URL+"/v1/run", inDomainSpecJSON)
+	if runResp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/run status %d: %s", runResp.StatusCode, runBody)
+	}
+	var run struct {
+		Result *hotpotato.Result `json:"result"`
+	}
+	if err := json.Unmarshal(runBody, &run); err != nil {
+		t.Fatal(err)
+	}
+	// /v1/run's ETag is the bare quoted spec hash; both endpoints must agree
+	// on the spec's identity.
+	if runTag := strings.Trim(runResp.Header.Get("ETag"), `"`); runTag != pred.SpecHash {
+		t.Errorf("/v1/run ETag %s != prediction spec hash %s — the two endpoints must agree on identity", runTag, pred.SpecHash)
+	}
+	tp := pred.Prediction.TransientPeakC
+	if d := math.Abs(tp.Estimate - run.Result.PeakTemp); d > tp.Bound {
+		t.Errorf("transient bound violated against the simulator: |%g − %g| = %g > %g",
+			tp.Estimate, run.Result.PeakTemp, d, tp.Bound)
+	}
+	mk := pred.Prediction.MakespanS
+	if d := math.Abs(mk.Estimate - run.Result.Makespan); d > mk.Bound {
+		t.Errorf("makespan bound violated against the simulator: |%g − %g| = %g > %g",
+			mk.Estimate, run.Result.Makespan, d, mk.Bound)
+	}
+}
+
+// TestBatchPrunesWithTwin drives the opt-in sweep pruner end to end: a
+// two-cell sweep where one cell is in the twin's domain (pruned below an
+// adaptive threshold) and one is not (simulated as usual). The stream must
+// carry the prune decision, and the summary counters must partition.
+func TestBatchPrunesWithTwin(t *testing.T) {
+	model := testTwinModel(t)
+	_, ts := newTestServer(t, Config{Workers: 2, TwinModel: model})
+
+	// Learn the twin's interval for the in-domain cell, then set the sweep
+	// threshold safely above est+bound so the verdict must be "below".
+	resp, body := postJSON(t, ts.URL+"/v1/predict", inDomainSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	tp := decodePrediction(t, body).Prediction.TransientPeakC
+	if !tp.Conclusive {
+		t.Fatal("in-domain cell inconclusive; cannot drive the pruner")
+	}
+	threshold := tp.Estimate + tp.Bound + 1
+
+	sweep := fmt.Sprintf(`{
+		"base": {"platform": {"width": 4, "height": 4}, "sim": {"dtm_enabled": false},
+			"workload": {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.3}]}},
+		"axes": {"schedulers": [{"name": "static"}, {"name": "hotpotato"}]},
+		"prune_above_temp": %g
+	}`, threshold)
+	httpResp, records := postBatch(t, ts.URL+"/v1/batch", sweep)
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", httpResp.StatusCode)
+	}
+
+	var pruned, ok int
+	var summary *batchRecord
+	for i := range records {
+		rec := records[i]
+		switch rec.Type {
+		case "result":
+			switch rec.Status {
+			case "pruned":
+				pruned++
+				if rec.Result != nil {
+					t.Errorf("pruned cell %d carries a simulation result", rec.Index)
+				}
+				if string(rec.Pruned) != "true" {
+					t.Errorf("pruned cell %d: pruned flag %s", rec.Index, rec.Pruned)
+				}
+				if rec.Prune == nil || rec.Prune.Verdict != "below" {
+					t.Errorf("pruned cell %d: prune decision %+v, want verdict below", rec.Index, rec.Prune)
+				} else if rec.Prune.PeakC+rec.Prune.BoundC >= threshold {
+					t.Errorf("pruned cell %d: interval %g±%g does not clear threshold %g",
+						rec.Index, rec.Prune.PeakC, rec.Prune.BoundC, threshold)
+				}
+				if !strings.HasPrefix(rec.Hash, "sha256:") {
+					t.Errorf("pruned cell %d lost its spec hash: %q", rec.Index, rec.Hash)
+				}
+			case "ok":
+				ok++
+			default:
+				t.Errorf("cell %d: status %q", rec.Index, rec.Status)
+			}
+		case "summary":
+			summary = &records[i]
+		}
+	}
+	if pruned != 1 || ok != 1 {
+		t.Errorf("pruned=%d ok=%d, want 1 and 1 (static cell pruned, hotpotato cell out of the twin's domain)", pruned, ok)
+	}
+	if summary == nil {
+		t.Fatal("no summary record")
+	}
+	if summary.Completed != 1 || string(summary.Pruned) != "1" {
+		t.Errorf("summary completed=%d pruned=%s, want 1 and 1", summary.Completed, summary.Pruned)
+	}
+}
+
+// TestBatchPruneRequiresModel: prune_above_temp on a server without a twin
+// model degrades to a plain (unpruned) sweep rather than failing.
+func TestBatchPruneRequiresModel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	sweep := `{
+		"base": {"platform": {"width": 4, "height": 4}, "scheduler": {"name": "static"},
+			"workload": {"kind": "explicit", "tasks": [{"bench": "blackscholes", "threads": 2, "work_scale": 0.3}]}},
+		"prune_above_temp": 200
+	}`
+	resp, records := postBatch(t, ts.URL+"/v1/batch", sweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	for _, rec := range records {
+		if rec.Type == "result" && rec.Status != "ok" {
+			t.Errorf("cell %d: status %q, want ok (no model ⇒ no pruning)", rec.Index, rec.Status)
+		}
+		if rec.Type == "summary" && rec.Completed != 1 {
+			t.Errorf("summary completed=%d, want 1", rec.Completed)
+		}
+	}
+}

@@ -68,6 +68,11 @@ type Config struct {
 	// lifecycle, shutdown). nil means a no-op logger — tests and embedders
 	// that do not care stay quiet.
 	Logger *slog.Logger
+	// TwinModel is the loaded analytical-twin calibration artifact backing
+	// POST /v1/predict and sweep pruning (the -twin-model flag loads it via
+	// hotpotato.LoadTwinModelFile). nil disables both: /v1/predict answers
+	// 503 and sweeps with prune_above_temp run unpruned.
+	TwinModel *hotpotato.TwinModel
 }
 
 // DefaultJobRetention is how long terminal jobs stay queryable when
@@ -102,6 +107,9 @@ type Server struct {
 	cfg    Config
 	logger *slog.Logger
 	cache  *PlatformCache
+	// twin is the analytical-twin model (Config.TwinModel); nil when the
+	// server runs without one.
+	twin *hotpotato.TwinModel
 	// results caches finished runs by SpecHash; nil when
 	// Config.ResultCacheEntries is negative.
 	results *ResultCache
@@ -152,6 +160,7 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		logger:     cfg.Logger,
 		cache:      NewPlatformCache(),
+		twin:       cfg.TwinModel,
 		results:    results,
 		jobs:       newJobStore(),
 		queue:      make(chan *jobState, cfg.QueueDepth),
@@ -209,6 +218,7 @@ func (s *Server) Handler() http.Handler {
 	obs.Default().PublishExpvar("hotpotato")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)

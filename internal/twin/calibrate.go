@@ -1,0 +1,339 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bound construction constants. Calibration walks the power-of-two prefixes
+// of the seeded sample sequence (8, 16, 32, …); each level L fits on the
+// first half of its prefix and validates on the held-out second half,
+// publishing the candidate bound
+//
+//	safety·tailFactor(m)·maxHeldOutResidual + penalty/L + floor
+//
+// — the worst residual on the m samples the fit never saw, inflated by a
+// safety factor and a tail factor that extrapolates a max over m draws to
+// the tailTarget-draw scale the differential suite exercises, plus a 1/L
+// penalty that keeps thin prefixes honest and an absolute floor so the bound
+// never collapses below the simulator's own discretization scale. A level
+// only fields a candidate when its fit half carries at least
+// minRowsPerCoef rows per regressor — near-interpolating fits produce
+// flattering validation maxima that do not generalize. The published
+// (coefficients, bound) pair is the candidate with the minimum bound, which
+// makes the bound monotone non-increasing in calibration density by
+// construction: a longer seeded sample sequence contains every shorter
+// power-of-two prefix, so its candidate set is a superset and every
+// candidate's fit and validation windows are fixed forever. See
+// docs/THEORY.md §"Surrogate model and error bounds".
+const (
+	boundSafety = 1.30
+
+	steadyPenaltyC   = 2.0
+	steadyFloorC     = 0.50
+	transPenaltyC    = 4.0
+	transFloorC      = 0.75
+	ringPenaltyC     = 3.0
+	ringFloorC       = 0.75
+	makespanPenalty  = 0.02 // seconds·samples
+	makespanFloorRel = 0.05
+	makespanFloorAbs = 1e-4 // seconds
+
+	// minLevel is the smallest calibration prefix that publishes a
+	// candidate; below it the held-out halves are too thin to mean anything.
+	minLevel = 8
+
+	// minRowsPerCoef is the candidate eligibility threshold: a level's fit
+	// half must carry at least this many rows per regression coefficient.
+	minRowsPerCoef = 4
+
+	// tailTarget is the draw count the published bound must survive: the
+	// max residual over m validation draws is extrapolated to the max over
+	// tailTarget draws by ln(tailTarget)/ln(m) (exact for exponential
+	// residual tails, conservative for lighter ones).
+	tailTarget = 1000
+)
+
+// levelsFor returns the power-of-two prefix lengths evaluated for n samples:
+// minLevel, 2·minLevel, … ≤ n. Samples beyond the last power of two still
+// extend the calibration envelope, just not the fits.
+func levelsFor(n int) []int {
+	var levels []int
+	for l := minLevel; l <= n; l *= 2 {
+		levels = append(levels, l)
+	}
+	return levels
+}
+
+// tailFactor extrapolates a maximum over m validation draws to the
+// tailTarget-draw scale. Never below 1.
+func tailFactor(m int) float64 {
+	if m < 2 {
+		return math.Log(tailTarget) / math.Log(2)
+	}
+	f := math.Log(tailTarget) / math.Log(float64(m))
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// minSamplesForDim returns the smallest sample count that fields at least
+// one eligible candidate for a dim-coefficient fit with one row per sample:
+// the top level's fit half must reach minRowsPerCoef·dim rows.
+func minSamplesForDim(dim int) int {
+	need := 2 * minRowsPerCoef * dim // level L has L/2 fit rows
+	for l := minLevel; ; l *= 2 {
+		if l >= need {
+			return l
+		}
+	}
+}
+
+// fitted is one per-field calibration outcome: the coefficients of the level
+// that achieved the published (minimum) bound.
+type fitted struct {
+	coef  []float64
+	bound float64
+}
+
+// consider replaces the incumbent when the candidate bound is strictly lower.
+func (f *fitted) consider(coef []float64, bound float64) {
+	if f.coef == nil || bound < f.bound {
+		f.coef = coef
+		f.bound = bound
+	}
+}
+
+// FitBucket calibrates one platform-size bucket from oracle samples. samples
+// and rings must come from a seeded generator so that the same seed yields
+// the same prefix regardless of total length — that property is what makes
+// the published bounds monotone in density and the artifact reproducible.
+func FitBucket(width, height int, ambient float64, samples []Sample, rings []RingSample) (BucketModel, error) {
+	if width < 1 || height < 1 {
+		return BucketModel{}, fmt.Errorf("twin: invalid bucket grid %dx%d", width, height)
+	}
+	if min := minSamplesForDim(transientDim); len(samples) < min {
+		return BucketModel{}, fmt.Errorf("twin: bucket %s needs at least %d samples, got %d", BucketKey(width, height), min, len(samples))
+	}
+	if min := minSamplesForDim(ringDim); len(rings) < min {
+		return BucketModel{}, fmt.Errorf("twin: bucket %s needs at least %d ring samples, got %d", BucketKey(width, height), min, len(rings))
+	}
+	n := width * height
+	for i, s := range samples {
+		if err := s.Case.Validate(); err != nil {
+			return BucketModel{}, fmt.Errorf("twin: sample %d: %w", i, err)
+		}
+		if s.Case.Width != width || s.Case.Height != height {
+			return BucketModel{}, fmt.Errorf("twin: sample %d is %dx%d, bucket is %dx%d", i, s.Case.Width, s.Case.Height, width, height)
+		}
+		if len(s.Obs.SteadyTemps) < n {
+			return BucketModel{}, fmt.Errorf("twin: sample %d has %d steady temps, want ≥ %d", i, len(s.Obs.SteadyTemps), n)
+		}
+	}
+	for i, r := range rings {
+		if r.Case.Width != width || r.Case.Height != height {
+			return BucketModel{}, fmt.Errorf("twin: ring sample %d is %dx%d, bucket is %dx%d", i, r.Case.Width, r.Case.Height, width, height)
+		}
+		if len(r.Case.Base) != n {
+			return BucketModel{}, fmt.Errorf("twin: ring sample %d base has %d cores, want %d", i, len(r.Case.Base), n)
+		}
+		if len(r.Case.RingCores) == 0 || len(r.Case.SlotWatts) != len(r.Case.RingCores) {
+			return BucketModel{}, fmt.Errorf("twin: ring sample %d has %d slots for %d ring cores", i, len(r.Case.SlotWatts), len(r.Case.RingCores))
+		}
+		if sfd := r.Case.SteadyFieldDeltaC; math.IsNaN(sfd) || sfd < 0 || math.IsInf(sfd, 0) {
+			return BucketModel{}, fmt.Errorf("twin: ring sample %d steady field delta = %g, want a finite non-negative rise", i, sfd)
+		}
+		if sfd := r.Case.SteadyMaxDeltaC; math.IsNaN(sfd) || sfd < 0 || math.IsInf(sfd, 0) {
+			return BucketModel{}, fmt.Errorf("twin: ring sample %d steady max delta = %g, want a finite non-negative rise", i, sfd)
+		}
+	}
+
+	var steady, trans, makespan fitted
+	kdim := kernelDim(width, height)
+
+	for _, level := range levelsFor(len(samples)) {
+		fit, val := samples[:level/2], samples[level/2:level]
+		tail := boundSafety * tailFactor(len(val))
+
+		// Steady kernel: fit on the first half, validate the peak prediction
+		// on the held-out half. Kernel rows come per (sample, core) pair, so
+		// even thin prefixes carry enough rows per coefficient.
+		if len(fit)*n >= minRowsPerCoef*kdim {
+			kernel, err := fitKernel(width, height, kdim, ambient, fit)
+			if err != nil {
+				return BucketModel{}, fmt.Errorf("twin: steady fit at level %d: %w", level, err)
+			}
+			b := BucketModel{Width: width, Height: height, Kernel: kernel}
+			resid := 0.0
+			for _, s := range val {
+				est := ambient + b.steadyPeakDelta(s.Case.HotPower)
+				if r := math.Abs(est - s.Obs.SteadyPeakC); r > resid {
+					resid = r
+				}
+			}
+			steady.consider(kernel, tail*resid+steadyPenaltyC/float64(level)+steadyFloorC)
+		}
+
+		if len(fit) >= minRowsPerCoef*transientDim {
+			coef, resid, err := fitField(fit, val, transientDim,
+				func(x []float64, s Sample) { transientFeatures(x, s.Case) },
+				func(s Sample) float64 { return s.Obs.TransientPeakC - ambient })
+			if err != nil {
+				return BucketModel{}, fmt.Errorf("twin: transient fit at level %d: %w", level, err)
+			}
+			trans.consider(coef, tail*resid+transPenaltyC/float64(level)+transFloorC)
+		}
+
+		if len(fit) >= minRowsPerCoef*makespanDim {
+			coef, resid, err := fitField(fit, val, makespanDim,
+				func(x []float64, s Sample) { makespanFeatures(x, s.Case) },
+				func(s Sample) float64 { return s.Obs.MakespanS })
+			if err != nil {
+				return BucketModel{}, fmt.Errorf("twin: makespan fit at level %d: %w", level, err)
+			}
+			meanAbs := 0.0
+			for _, s := range val {
+				meanAbs += math.Abs(s.Obs.MakespanS)
+			}
+			meanAbs /= float64(len(val))
+			floor := makespanFloorRel*meanAbs + makespanFloorAbs
+			makespan.consider(coef, tail*resid+makespanPenalty/float64(level)+floor)
+		}
+	}
+
+	// Ring model: same scheme over the ring sample prefixes.
+	var ring fitted
+	field := make([]float64, n)
+	ringRow := func(r RingSample) []float64 {
+		x := make([]float64, ringDim)
+		ringFeaturesInto(x, field, r.Case)
+		return x
+	}
+	for _, level := range levelsFor(len(rings)) {
+		fit, val := rings[:level/2], rings[level/2:level]
+		if len(fit) < minRowsPerCoef*ringDim {
+			continue
+		}
+		rows := make([][]float64, len(fit))
+		y := make([]float64, len(fit))
+		for i, r := range fit {
+			rows[i] = ringRow(r)
+			y[i] = r.PeakC - r.Case.Ambient
+		}
+		coef, err := leastSquares(rows, y)
+		if err != nil {
+			return BucketModel{}, fmt.Errorf("twin: ring fit at level %d: %w", level, err)
+		}
+		resid := 0.0
+		for _, r := range val {
+			est := r.Case.Ambient + dot(coef, ringRow(r))
+			if d := math.Abs(est - r.PeakC); d > resid {
+				resid = d
+			}
+		}
+		ring.consider(coef, boundSafety*tailFactor(len(val))*resid+ringPenaltyC/float64(level)+ringFloorC)
+	}
+
+	// The power envelope and tau ceiling come from the full sample set: they
+	// describe where calibration evidence exists at all.
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for _, s := range samples {
+		w := totalPower(s.Case.HotPower)
+		if w < minW {
+			minW = w
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	maxTau := 0.0
+	ringMinW, ringMaxW := math.Inf(1), math.Inf(-1)
+	var rx [ringDim]float64
+	for _, r := range rings {
+		if r.Case.Tau > maxTau {
+			maxTau = r.Case.Tau
+		}
+		ringFeaturesInto(rx[:], field, r.Case)
+		if rx[2] < ringMinW {
+			ringMinW = rx[2]
+		}
+		if rx[2] > ringMaxW {
+			ringMaxW = rx[2]
+		}
+	}
+
+	bucket := BucketModel{
+		Width:        width,
+		Height:       height,
+		Ambient:      ambient,
+		Kernel:       steady.coef,
+		SteadyBoundC: steady.bound,
+		Transient:    FieldModel{Coef: trans.coef, Bound: trans.bound},
+		Makespan:     FieldModel{Coef: makespan.coef, Bound: makespan.bound},
+		Ring:         FieldModel{Coef: ring.coef, Bound: ring.bound},
+		Samples:      len(samples),
+		RingSamples:  len(rings),
+		MinTotalW:    minW,
+		MaxTotalW:    maxW,
+		MaxTauS:      maxTau,
+		RingMinW:     ringMinW,
+		RingMaxW:     ringMaxW,
+	}
+	if err := bucket.validate(BucketKey(width, height)); err != nil {
+		return BucketModel{}, err
+	}
+	return bucket, nil
+}
+
+// fitKernel solves for the spatial influence kernel over every (sample, core)
+// pair: regressor d of core i is the total power at Manhattan distance d from
+// i, plus the two edge-correction regressors (own power and total power, each
+// scaled by the core's missing-neighbor count); the target is that core's
+// steady temperature rise.
+func fitKernel(width, height, kdim int, ambient float64, samples []Sample) ([]float64, error) {
+	var rows [][]float64
+	var y []float64
+	for _, s := range samples {
+		cores := len(s.Case.HotPower)
+		total := totalPower(s.Case.HotPower)
+		for i := 0; i < cores; i++ {
+			x := make([]float64, kdim)
+			for j := 0; j < cores; j++ {
+				x[manhattan(width, i, j)] += s.Case.HotPower[j]
+			}
+			e := float64(missingNeighbors(width, height, i))
+			x[kdim-2] = e * s.Case.HotPower[i]
+			x[kdim-1] = e * total
+			rows = append(rows, x)
+			y = append(y, s.Obs.SteadyTemps[i]-ambient)
+		}
+	}
+	return leastSquares(rows, y)
+}
+
+// fitField fits one scalar field on `fit` and returns the coefficients plus
+// the maximum residual on the held-out `val` samples.
+func fitField(fit, val []Sample, dim int, features func(x []float64, s Sample), target func(s Sample) float64) ([]float64, float64, error) {
+	rows := make([][]float64, len(fit))
+	y := make([]float64, len(fit))
+	for i, s := range fit {
+		x := make([]float64, dim)
+		features(x, s)
+		rows[i] = x
+		y[i] = target(s)
+	}
+	coef, err := leastSquares(rows, y)
+	if err != nil {
+		return nil, 0, err
+	}
+	resid := 0.0
+	x := make([]float64, dim)
+	for _, s := range val {
+		features(x, s)
+		if r := math.Abs(dot(coef, x) - target(s)); r > resid {
+			resid = r
+		}
+	}
+	return coef, resid, nil
+}

@@ -1,0 +1,73 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ridge is the Tikhonov regularizer added to the normal equations' diagonal.
+// It is large enough to keep near-collinear design matrices positive
+// definite (the Cholesky factorization must never fail on a degenerate
+// calibration grid) and small enough — relative to regressors measured in
+// watts and °C — to leave well-conditioned fits numerically untouched.
+const ridge = 1e-6
+
+// leastSquares solves min_β ‖Xβ − y‖² + ridge·‖β‖² deterministically via the
+// normal equations and a dense Cholesky factorization. rows is the design
+// matrix (one regressor vector per observation). The result depends only on
+// the inputs — no randomness, no iteration-order ambiguity — which is what
+// makes calibration artifacts byte-identical across runs and platforms.
+func leastSquares(rows [][]float64, y []float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("twin: least squares needs at least one observation")
+	}
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("twin: %d observations but %d targets", len(rows), len(y))
+	}
+	dim := len(rows[0])
+	ata := matrix.New(dim, dim)
+	atb := make([]float64, dim)
+	for r, x := range rows {
+		if len(x) != dim {
+			return nil, fmt.Errorf("twin: ragged design matrix (row %d has %d regressors, want %d)", r, len(x), dim)
+		}
+		for i := 0; i < dim; i++ {
+			atb[i] += x[i] * y[r]
+			for j := i; j < dim; j++ {
+				ata.Add(i, j, x[i]*x[j])
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	for i := 0; i < dim; i++ {
+		ata.Add(i, i, ridge)
+		for j := i + 1; j < dim; j++ {
+			ata.Set(j, i, ata.At(i, j))
+		}
+	}
+	chol, err := matrix.FactorCholesky(ata)
+	if err != nil {
+		return nil, fmt.Errorf("twin: normal equations not positive definite: %w", err)
+	}
+	beta, err := chol.SolveVec(atb)
+	if err != nil {
+		return nil, fmt.Errorf("twin: normal equations solve failed: %w", err)
+	}
+	for i, b := range beta {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("twin: coefficient %d is not finite", i)
+		}
+	}
+	return beta, nil
+}
+
+// dot returns coef·x.
+func dot(coef, x []float64) float64 {
+	sum := 0.0
+	for i, c := range coef {
+		sum += c * x[i]
+	}
+	return sum
+}

@@ -1,0 +1,105 @@
+package twin
+
+import (
+	"fmt"
+	"math"
+)
+
+// SteadyPeakFunc returns the exact steady-state peak temperature rise (K) of
+// a per-core power field — a closed-form linear solve against the platform's
+// thermal model (the root package builds one from the cached core-influence
+// matrix). The ring model's strongest regressor is this quasi-steady rise of
+// the rotation's time-averaged field, so the estimator needs the solve at
+// prediction time. Implementations must not allocate and must not retain the
+// field slice.
+type SteadyPeakFunc func(field []float64) float64
+
+// RingEstimator is the scheduler-facing view of one bucket's ring model: a
+// goroutine-confined evaluator with preallocated scratch, so estimating a
+// ring peak allocates nothing on the hot path (the same discipline as
+// rotation.RingEvaluator). It implements the sched.RingPeakEstimator
+// contract: an estimate, its conservative bound, and whether the bound is
+// backed by calibration evidence — the scheduler must fall back to the exact
+// Algorithm 1 evaluation whenever conclusive is false.
+type RingEstimator struct {
+	bucket     BucketModel
+	steadyPeak SteadyPeakFunc
+	x          [ringDim]float64
+	field      []float64
+}
+
+// NewRingEstimator builds an estimator for one platform-size bucket.
+// steadyPeak must evaluate the exact steady peak rise of a width×height
+// per-core field on the platform the estimator will serve. Like
+// rotation.RingEvaluator, the result is confined to a single goroutine.
+func NewRingEstimator(m *Model, width, height int, steadyPeak SteadyPeakFunc) (*RingEstimator, error) {
+	key := BucketKey(width, height)
+	b, ok := m.Buckets[key]
+	if !ok {
+		return nil, fmt.Errorf("twin: no calibrated bucket %q for ring estimation", key)
+	}
+	if steadyPeak == nil {
+		return nil, fmt.Errorf("twin: ring estimator needs a steady-peak evaluator")
+	}
+	return &RingEstimator{
+		bucket:     b,
+		steadyPeak: steadyPeak,
+		field:      make([]float64, width*height),
+	}, nil
+}
+
+// Bound returns the estimator's confidence bound in °C.
+func (e *RingEstimator) Bound() float64 { return e.bucket.Ring.Bound }
+
+// EstimateRingPeak predicts the steady-periodic peak temperature (°C) of one
+// ring rotation: epoch tau, per-core background field base, rotating cores
+// ringCores carrying slotWatts. It returns the estimate, the confidence
+// bound, and whether the inputs lie inside the calibration envelope (grid
+// size, tau ceiling, and time-averaged total power). On any structural
+// mismatch it returns inconclusive rather than an error — the caller's exact
+// path is always a safe fallback. Allocates nothing.
+func (e *RingEstimator) EstimateRingPeak(tau float64, base []float64, ringCores []int, slotWatts []float64) (peakC, boundC float64, conclusive bool) {
+	b := &e.bucket
+	if len(base) != len(e.field) || len(ringCores) == 0 || len(slotWatts) != len(ringCores) {
+		return 0, b.Ring.Bound, false
+	}
+	if !(tau > 0) || tau > b.MaxTauS*(1+envelopeSlack) {
+		return 0, b.Ring.Bound, false
+	}
+	// Solve the two exact anchors the fitted model blends: the frozen-worst
+	// epoch (upper) and the time-averaged field (lower). One scratch vector
+	// serves both — MaxInstantSteadyDelta rebuilds it per offset.
+	sfdMax := MaxInstantSteadyDelta(e.field, base, ringCores, slotWatts, e.steadyPeak)
+	copy(e.field, base)
+	mean := 0.0
+	for _, w := range slotWatts {
+		mean += w
+	}
+	mean /= float64(len(slotWatts))
+	for _, core := range ringCores {
+		e.field[core] = mean
+	}
+	sfd := e.steadyPeak(e.field)
+	if math.IsNaN(sfd) || math.IsInf(sfd, 0) || math.IsNaN(sfdMax) || math.IsInf(sfdMax, 0) {
+		return 0, b.Ring.Bound, false
+	}
+	ringFeaturesInto(e.x[:], e.field, RingCase{
+		Width:             b.Width,
+		Height:            b.Height,
+		Ambient:           b.Ambient,
+		Tau:               tau,
+		Base:              base,
+		RingCores:         ringCores,
+		SlotWatts:         slotWatts,
+		SteadyFieldDeltaC: sfd,
+		SteadyMaxDeltaC:   sfdMax,
+	})
+	est := b.Ambient + dot(b.Ring.Coef, e.x[:])
+	if math.IsNaN(est) || math.IsInf(est, 0) {
+		return 0, b.Ring.Bound, false
+	}
+	lo := b.RingMinW * (1 - envelopeSlack)
+	hi := b.RingMaxW * (1 + envelopeSlack)
+	ok := e.x[2] >= lo && e.x[2] <= hi
+	return est, b.Ring.Bound, ok
+}

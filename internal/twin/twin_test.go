@@ -1,0 +1,276 @@
+package twin
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// testModel builds a small structurally-valid artifact by hand (a 2×2 bucket;
+// the numbers are arbitrary but finite). The fitted-against-simulator models
+// are exercised by the root package's differential suite — here we only need
+// something Validate accepts.
+func testModel(t *testing.T) *Model {
+	t.Helper()
+	bucket := BucketModel{
+		Width: 2, Height: 2, Ambient: 45,
+		Kernel:       []float64{1, 0.5, 0.25, 0.1, 0.05}, // kernelDim(2,2) = 5
+		SteadyBoundC: 1.5,
+		Transient:    FieldModel{Coef: []float64{0.1, 1, 0.2, 0.3, 0.4}, Bound: 2},
+		Makespan:     FieldModel{Coef: []float64{0, 1}, Bound: 0.01},
+		Ring:         FieldModel{Coef: []float64{0.1, 1, 0.01, 0.2, 0.3, 0.4, 0.5}, Bound: 1.25},
+		Samples:      64, RingSamples: 64,
+		MinTotalW: 1, MaxTotalW: 100,
+		MaxTauS: 0.004, RingMinW: 1, RingMaxW: 100,
+	}
+	m := &Model{
+		Version: ModelVersion,
+		Seed:    1,
+		Buckets: map[string]BucketModel{BucketKey(2, 2): bucket},
+	}
+	hash, err := m.ComputeHash()
+	if err != nil {
+		t.Fatalf("ComputeHash: %v", err)
+	}
+	m.Hash = hash
+	if err := m.Validate(); err != nil {
+		t.Fatalf("hand-built model does not validate: %v", err)
+	}
+	return m
+}
+
+func TestModelEncodeLoadRoundTrip(t *testing.T) {
+	m := testModel(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	again, err := m.Encode()
+	if err != nil {
+		t.Fatalf("second Encode: %v", err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("Encode is not deterministic")
+	}
+	back, err := Load(data)
+	if err != nil {
+		t.Fatalf("Load of Encode output: %v", err)
+	}
+	if back.Hash != m.Hash {
+		t.Errorf("round trip changed hash: %s vs %s", back.Hash, m.Hash)
+	}
+	data2, err := back.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Error("Encode → Load → Encode changed bytes")
+	}
+}
+
+func TestModelLoadRejectsCorruption(t *testing.T) {
+	m := testModel(t)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":     nil,
+		"not json":  []byte("not json"),
+		"truncated": data[:len(data)/2],
+		"tampered":  bytes.Replace(data, []byte(`"seed": 1`), []byte(`"seed": 2`), 1),
+		"bad version": bytes.Replace(data,
+			[]byte(`"version": "`+ModelVersion+`"`), []byte(`"version": "twin-v0"`), 1),
+		"no buckets": []byte(`{"version": "` + ModelVersion + `", "hash": "", "seed": 1, "buckets": {}}`),
+	}
+	for name, corrupt := range cases {
+		if _, err := Load(corrupt); err == nil {
+			t.Errorf("Load(%s) accepted corrupt input", name)
+		}
+	}
+}
+
+func TestModelHashCoversContent(t *testing.T) {
+	m := testModel(t)
+	h1, _ := m.ComputeHash()
+	if !strings.HasPrefix(h1, "sha256:") {
+		t.Errorf("hash %q lacks sha256: prefix", h1)
+	}
+	m.Seed = 99
+	h2, _ := m.ComputeHash()
+	if h1 == h2 {
+		t.Error("hash did not change with content")
+	}
+	// The embedded hash itself is excluded, so stamping it is stable.
+	m.Hash = h2
+	h3, _ := m.ComputeHash()
+	if h2 != h3 {
+		t.Error("hash depends on the Hash field")
+	}
+}
+
+func TestTailFactor(t *testing.T) {
+	if got := tailFactor(tailTarget); got != 1 {
+		t.Errorf("tailFactor(%d) = %g, want 1 (clamped)", tailTarget, got)
+	}
+	if got := tailFactor(tailTarget * 10); got != 1 {
+		t.Errorf("tailFactor clamps below 1: got %g", got)
+	}
+	prev := math.Inf(1)
+	for _, m := range []int{2, 4, 16, 64, 256, 1000} {
+		f := tailFactor(m)
+		if f < 1 {
+			t.Errorf("tailFactor(%d) = %g < 1", m, f)
+		}
+		if f > prev {
+			t.Errorf("tailFactor not non-increasing at m=%d: %g > %g", m, f, prev)
+		}
+		prev = f
+	}
+	// Degenerate validation windows fall back to the harshest factor.
+	if got, want := tailFactor(1), math.Log(tailTarget)/math.Log(2); got != want {
+		t.Errorf("tailFactor(1) = %g, want %g", got, want)
+	}
+	// m=32 held out: ln(1000)/ln(32) ≈ 1.993.
+	if got := tailFactor(32); math.Abs(got-1.993) > 0.01 {
+		t.Errorf("tailFactor(32) = %g, want ≈1.993", got)
+	}
+}
+
+func TestLevelsFor(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{0, nil}, {7, nil}, {8, []int{8}}, {15, []int{8}},
+		{64, []int{8, 16, 32, 64}}, {100, []int{8, 16, 32, 64}},
+		{192, []int{8, 16, 32, 64, 128}},
+	}
+	for _, c := range cases {
+		got := levelsFor(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("levelsFor(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("levelsFor(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestMinSamplesForDim(t *testing.T) {
+	// Level L fits on L/2 rows, needing minRowsPerCoef rows per coefficient.
+	for _, c := range []struct{ dim, want int }{
+		{1, 8}, {2, 16}, {makespanDim, 16}, {transientDim, 64}, {ringDim, 64},
+	} {
+		if got := minSamplesForDim(c.dim); got != c.want {
+			t.Errorf("minSamplesForDim(%d) = %d, want %d", c.dim, got, c.want)
+		}
+	}
+	// The returned level really is eligible: fit half ≥ minRowsPerCoef·dim.
+	for dim := 1; dim <= 16; dim++ {
+		l := minSamplesForDim(dim)
+		if l/2 < minRowsPerCoef*dim {
+			t.Errorf("minSamplesForDim(%d) = %d: fit half %d < %d", dim, l, l/2, minRowsPerCoef*dim)
+		}
+	}
+}
+
+func TestMissingNeighbors(t *testing.T) {
+	// 4×4: four corners miss 2 neighbors, eight edge cores miss 1, four
+	// interior cores miss 0 — 16 total missing edges around the die.
+	w, h := 4, 4
+	sum := 0
+	for i := 0; i < w*h; i++ {
+		sum += missingNeighbors(w, h, i)
+	}
+	if want := 2*w + 2*h; sum != want {
+		t.Errorf("4x4 total missing neighbors = %d, want %d", sum, want)
+	}
+	if got := missingNeighbors(w, h, 0); got != 2 {
+		t.Errorf("corner: got %d, want 2", got)
+	}
+	if got := missingNeighbors(w, h, 1); got != 1 {
+		t.Errorf("edge: got %d, want 1", got)
+	}
+	if got := missingNeighbors(w, h, 5); got != 0 {
+		t.Errorf("interior: got %d, want 0", got)
+	}
+	// A 1×1 die has no neighbors at all.
+	if got := missingNeighbors(1, 1, 0); got != 4 {
+		t.Errorf("1x1: got %d, want 4", got)
+	}
+}
+
+func TestKernelDim(t *testing.T) {
+	for _, c := range []struct{ w, h, want int }{
+		{2, 2, 5}, {4, 4, 9}, {8, 8, 17}, {1, 1, 3},
+	} {
+		if got := kernelDim(c.w, c.h); got != c.want {
+			t.Errorf("kernelDim(%d,%d) = %d, want %d", c.w, c.h, got, c.want)
+		}
+	}
+}
+
+func TestSteadyPeakDeltaEdgeTerms(t *testing.T) {
+	// Self-only kernel with explicit edge terms on a 2×2 die (every core a
+	// corner, e=2): rise_i = k0·p_i + 2·(kSelf·p_i + kTotal·Σp).
+	b := BucketModel{
+		Width: 2, Height: 2,
+		Kernel: []float64{1, 0, 0, 0.5, 0.25}, // k0=1, d1=d2=0, kSelf=0.5, kTotal=0.25
+	}
+	p := []float64{1, 2, 3, 4}
+	want := 4.0 + 2*(0.5*4+0.25*10) // hottest core: p=4, total=10
+	if got := b.steadyPeakDelta(p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("steadyPeakDelta = %g, want %g", got, want)
+	}
+}
+
+func TestPredictUnknownBucket(t *testing.T) {
+	m := testModel(t)
+	c := Case{
+		Width: 3, Height: 3, Ambient: 45,
+		HotPower:        make([]float64, 9),
+		AvgPower:        make([]float64, 9),
+		SteadyHotDeltaC: 1, SteadyAvgDeltaC: 1,
+		Horizon: 0.01, RawMakespan: 0.01,
+	}
+	for i := range c.HotPower {
+		c.HotPower[i], c.AvgPower[i] = 1, 1
+	}
+	if _, err := m.Predict(c); err == nil {
+		t.Error("Predict answered for an uncalibrated bucket")
+	}
+}
+
+func TestPredictEnvelopeGate(t *testing.T) {
+	m := testModel(t)
+	mk := func(watts float64) Case {
+		c := Case{
+			Width: 2, Height: 2, Ambient: 45,
+			HotPower:        []float64{watts, watts, watts, watts},
+			AvgPower:        []float64{watts, watts, watts, watts},
+			SteadyHotDeltaC: 1, SteadyAvgDeltaC: 1,
+			Horizon: 0.01, RawMakespan: 0.01,
+		}
+		return c
+	}
+	in, err := m.Predict(mk(5)) // total 20 W, inside [1, 100]
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if !in.SteadyPeakC.Conclusive || !in.TransientPeakC.Conclusive || !in.MakespanS.Conclusive {
+		t.Error("in-envelope case marked inconclusive")
+	}
+	out, err := m.Predict(mk(50)) // total 200 W, outside 100·1.1
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if out.SteadyPeakC.Conclusive || out.TransientPeakC.Conclusive || out.MakespanS.Conclusive {
+		t.Error("out-of-envelope case marked conclusive")
+	}
+}
