@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,8 +42,10 @@ func main() {
 	batchHeartbeat := flag.Duration("batch-heartbeat", 0, "interval between /v1/batch progress records (0 = 10s, negative = disable)")
 	solver := flag.String("solver", "", "default thermal solver for cells that leave platform.thermal.solver empty: auto|dense|sparse")
 	archiveDir := flag.String("archive", "", "directory for the SpecHash-keyed result archive and per-sweep manifests (empty = archiving disabled)")
+	sweepSpanDepth := flag.Int("sweep-span-depth", 0, "spans retained per sweep for /v1/sweeps/{id}/spans, worker-exported spans included (0 = 8192, negative = disable)")
 	logLevel := flag.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := flag.String("log-format", "json", "log format: json|text")
+	enablePprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	readHeader := flag.Duration("read-header-timeout", 5*time.Second, "limit on reading request headers (slowloris guard)")
 	idle := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection limit")
 	flag.Parse()
@@ -67,24 +70,39 @@ func main() {
 	}
 
 	d := fabric.NewDispatcher(fabric.Config{
-		LeaseTTL:      *leaseTTL,
-		MaxRetries:    *maxRetries,
-		LeaseCells:    *leaseCells,
-		MaxSweepCells: *maxSweepCells,
-		Heartbeat:     *batchHeartbeat,
-		DefaultSolver: *solver,
-		Archive:       archive,
-		Logger:        logger,
+		LeaseTTL:       *leaseTTL,
+		MaxRetries:     *maxRetries,
+		LeaseCells:     *leaseCells,
+		MaxSweepCells:  *maxSweepCells,
+		Heartbeat:      *batchHeartbeat,
+		DefaultSolver:  *solver,
+		Archive:        archive,
+		SweepSpanDepth: *sweepSpanDepth,
+		Logger:         logger,
 	})
 	reaperCtx, stopReaper := context.WithCancel(context.Background())
 	defer stopReaper()
 	go d.Run(reaperCtx)
 
+	var handler http.Handler = d.Handler()
+	if *enablePprof {
+		// Behind a flag: the profiling endpoints expose internals and cost
+		// CPU, so an operator opts in per deployment.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
 	// No ReadTimeout/WriteTimeout: /v1/batch responses stream for as long as
 	// the sweep runs, and workers' results posts are small anyway.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           d.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: *readHeader,
 		IdleTimeout:       *idle,
 	}

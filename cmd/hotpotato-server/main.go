@@ -125,7 +125,11 @@ func main() {
 			ID:         *workerID,
 			LeaseCells: *leaseCells,
 			Exec:       svc.ExecuteCell,
-			Logger:     logger,
+			// Leased cells that close a /v1/predict drift check report the
+			// residual back so the dispatcher's per-sweep status carries a
+			// fleet-wide twin-drift tally.
+			Drift:  svc.TakeDriftReport,
+			Logger: logger,
 		}
 		workerDone = make(chan struct{})
 		go func() {

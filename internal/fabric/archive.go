@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	hotpotato "repro"
@@ -32,13 +33,18 @@ type Archive struct {
 type Manifest struct {
 	SweepID   string  `json:"sweep_id"`
 	RequestID string  `json:"request_id,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
 	Total     int     `json:"total"`
 	Completed int     `json:"completed"`
 	Failed    int     `json:"failed"`
 	Canceled  int     `json:"canceled"`
 	Pruned    int     `json:"pruned"`
 	CacheHits int     `json:"cache_hits"`
+	Requeues  int     `json:"requeues,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Date is the manifest's sweeps/<date>/ directory, stamped on listing
+	// (not stored in the file — the directory is the source of truth).
+	Date string `json:"date,omitempty"`
 }
 
 // NewArchive opens (creating if needed) an archive rooted at dir. clock
@@ -117,6 +123,52 @@ func (a *Archive) WriteManifest(sweepID string, m Manifest) error {
 	}
 	day := a.clock.Now().UTC().Format("2006-01-02")
 	return writeAtomic(filepath.Join(a.root, "sweeps", day, sweepID+".json"), data)
+}
+
+// RecentManifests returns up to limit sweep manifests, newest first (date
+// directories descending, then file names descending within a day — sweep
+// IDs are sequence-numbered, so the lexicographic order is close enough to
+// chronological for a status listing). Unreadable entries are skipped: the
+// listing is an observability surface, not an integrity check.
+func (a *Archive) RecentManifests(limit int) []Manifest {
+	if a == nil || limit <= 0 {
+		return nil
+	}
+	days, err := os.ReadDir(filepath.Join(a.root, "sweeps"))
+	if err != nil {
+		return nil
+	}
+	sort.Slice(days, func(i, j int) bool { return days[i].Name() > days[j].Name() })
+	var out []Manifest
+	for _, day := range days {
+		if !day.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(a.root, "sweeps", day.Name()))
+		if err != nil {
+			continue
+		}
+		sort.Slice(files, func(i, j int) bool { return files[i].Name() > files[j].Name() })
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(a.root, "sweeps", day.Name(), f.Name()))
+			if err != nil {
+				continue
+			}
+			var m Manifest
+			if json.Unmarshal(data, &m) != nil || m.SweepID == "" {
+				continue
+			}
+			m.Date = day.Name()
+			out = append(out, m)
+			if len(out) >= limit {
+				return out
+			}
+		}
+	}
+	return out
 }
 
 // writeAtomic writes data to path via a same-directory temp file and rename,

@@ -35,6 +35,11 @@ const (
 	// DefaultLeaseCells caps how many cells one lease books. Small batches
 	// keep re-queue cost low when a worker dies and spread a sweep evenly.
 	DefaultLeaseCells = 4
+	// DefaultRecentSweeps is how many finished sweeps the dispatcher retains
+	// for the status surface (GET /v1/sweeps, /v1/sweeps/{id}/spans) after
+	// their record streams close. Older sweeps remain visible through the
+	// archive manifests only.
+	DefaultRecentSweeps = 32
 )
 
 // Config sizes a Dispatcher.
@@ -62,6 +67,14 @@ type Config struct {
 	// Archive persists completed cells by SpecHash; nil disables archiving
 	// (and the archive-hit fast path).
 	Archive *Archive
+	// SweepSpanDepth caps the merged span tree retained per sweep — the
+	// dispatcher's own sweep/lease spans plus every worker-exported cell
+	// subtree (0 = obs.DefaultSpanDepth, negative disables span tracking and
+	// the TraceParent on lease grants).
+	SweepSpanDepth int
+	// RecentSweeps caps how many finished sweeps stay queryable on the status
+	// surface (0 = DefaultRecentSweeps).
+	RecentSweeps int
 	// Clock drives lease deadlines; nil means the real clock.
 	Clock Clock
 	// Logger receives the dispatcher's structured log stream; nil is quiet.
@@ -102,8 +115,44 @@ type sweepState struct {
 	closed   bool
 	canceled bool
 	began    time.Time
+	finished time.Time // zero while the sweep is active
 
 	completed, failed, canceledN, prunedN, cacheHits int
+	// requeues counts cells re-queued by lease expiries — the recovery work
+	// the status surface reports per sweep.
+	requeues int
+
+	// traceID / spans / root are the sweep's merged fleet trace: the
+	// dispatcher's own sweep and lease spans plus every worker-exported cell
+	// subtree, grafted under root. spans is nil when tracking is disabled.
+	traceID string
+	spans   *obs.SpanRecorder
+	root    *obs.Span
+	// spanExportDropped sums the spans the workers' per-cell recorders
+	// dropped before export (on top of spans.Dropped(), the merge-side drop).
+	spanExportDropped int64
+
+	// perWorker attributes completed cells to the workers that posted them.
+	perWorker map[string]*sweepWorkerStats
+
+	// drift tallies the twin-drift observations workers reported for this
+	// sweep's cells.
+	drift driftTally
+}
+
+// sweepWorkerStats is one worker's contribution to one sweep.
+type sweepWorkerStats struct {
+	done  int
+	first time.Time // first result post, for the cells/s denominator
+	last  time.Time
+}
+
+// driftTally accumulates twin-drift reports (see DriftReport).
+type driftTally struct {
+	checks      int
+	violations  int
+	sumResidual float64
+	maxAbs      float64
 }
 
 // lease is one booked batch of cells (all from one sweep).
@@ -114,6 +163,25 @@ type lease struct {
 	// cells indexes the lease's tasks by their sweep cell index.
 	cells    map[int]*cellTask
 	deadline time.Time
+	// span times the lease in the sweep's merged trace (nil when tracking is
+	// disabled); worker-exported cell subtrees graft under it.
+	span *obs.Span
+}
+
+// workerState is everything the dispatcher knows about one worker — the
+// GET /fabric/v1/workers row.
+type workerState struct {
+	id         string
+	capacity   int
+	registered time.Time
+	// lastSeen is the last register/lease/heartbeat/results call — the
+	// liveness signal the health state derives from.
+	lastSeen time.Time
+	// cellsDone counts results this worker posted (accepted records).
+	cellsDone int64
+	// gauges holds the worker's latest federated gauge values; fleet gauges
+	// are the sum across workers.
+	gauges map[string]float64
 }
 
 // Dispatcher is the control plane: it owns the pending-cell queue, the
@@ -126,11 +194,14 @@ type Dispatcher struct {
 	clock  Clock
 	logger *slog.Logger
 
-	mu      sync.Mutex
-	sweeps  map[string]*sweepState
+	mu     sync.Mutex
+	sweeps map[string]*sweepState
+	// recent retains finished sweeps (newest last) for the status surface,
+	// bounded by cfg.RecentSweeps.
+	recent  []*sweepState
 	queue   []*cellTask // FIFO; expiry re-queues at the front
 	leases  map[string]*lease
-	workers map[string]int // worker → granted capacity
+	workers map[string]*workerState
 	seq     int64
 }
 
@@ -155,6 +226,12 @@ func NewDispatcher(cfg Config) *Dispatcher {
 	if cfg.Heartbeat == 0 {
 		cfg.Heartbeat = 10 * time.Second
 	}
+	if cfg.SweepSpanDepth == 0 {
+		cfg.SweepSpanDepth = obs.DefaultSpanDepth
+	}
+	if cfg.RecentSweeps <= 0 {
+		cfg.RecentSweeps = DefaultRecentSweeps
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
@@ -167,7 +244,7 @@ func NewDispatcher(cfg Config) *Dispatcher {
 		logger:  cfg.Logger,
 		sweeps:  map[string]*sweepState{},
 		leases:  map[string]*lease{},
-		workers: map[string]int{},
+		workers: map[string]*workerState{},
 	}
 }
 
@@ -224,8 +301,10 @@ func (s *Sweep) Cancel() { s.d.cancelSweep(s.st) }
 // Submit registers a sweep's expanded cells with the control plane. Cells
 // whose spec fails to hash are failed immediately; cells whose hash is in
 // the archive replay immediately (Cached: true); the rest are queued for
-// workers. requestID is echoed into the archive manifest.
-func (d *Dispatcher) Submit(cells []hotpotato.SweepCell, requestID string) *Sweep {
+// workers. requestID is echoed into the archive manifest. traceParent is the
+// client's optional traceparent header value: a valid one makes the sweep
+// join the client's trace; anything else mints a fresh trace ID.
+func (d *Dispatcher) Submit(cells []hotpotato.SweepCell, requestID, traceParent string) *Sweep {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.seq++
@@ -236,6 +315,25 @@ func (d *Dispatcher) Submit(cells []hotpotato.SweepCell, requestID string) *Swee
 		outstanding: len(cells),
 		records:     make(chan hotpotato.SweepResultRecord, len(cells)),
 		began:       d.clock.Now(),
+		perWorker:   map[string]*sweepWorkerStats{},
+	}
+	if d.cfg.SweepSpanDepth > 0 {
+		tc, ok := obs.ParseTraceParent(traceParent)
+		if !ok {
+			tc = obs.NewTraceContext()
+		}
+		sw.traceID = tc.TraceID
+		sw.spans = obs.NewSpanRecorder(d.cfg.SweepSpanDepth)
+		sw.root = sw.spans.Start("sweep")
+		sw.root.SetAttr("sweep_id", sw.id)
+		sw.root.SetAttr("trace_id", sw.traceID)
+		sw.root.SetAttr("cells", len(cells))
+		if ok {
+			sw.root.SetAttr("parent_span_id", tc.SpanID)
+		}
+		if requestID != "" {
+			sw.root.SetAttr("request_id", requestID)
+		}
 	}
 	d.sweeps[sw.id] = sw
 	metricSweeps.Inc()
@@ -279,10 +377,8 @@ func (d *Dispatcher) Register(req RegisterRequest) RegisterResponse {
 		d.seq++
 		id = fmt.Sprintf("worker-%d", d.seq)
 	}
-	if _, known := d.workers[id]; !known {
-		metricWorkers.Add(1)
-	}
-	d.workers[id] = req.Capacity
+	w := d.touchWorkerLocked(id)
+	w.capacity = req.Capacity
 	d.logger.Info("fabric worker registered", "worker", id, "capacity", req.Capacity)
 	return RegisterResponse{
 		ID:         id,
@@ -292,12 +388,27 @@ func (d *Dispatcher) Register(req RegisterRequest) RegisterResponse {
 	}
 }
 
+// touchWorkerLocked records liveness for workerID, creating the state on
+// first sight (unknown workers are admitted implicitly so a dispatcher
+// restart does not strand running workers). Callers hold d.mu.
+func (d *Dispatcher) touchWorkerLocked(workerID string) *workerState {
+	w, known := d.workers[workerID]
+	if !known {
+		w = &workerState{id: workerID, registered: d.clock.Now()}
+		d.workers[workerID] = w
+		metricWorkers.Add(1)
+	}
+	w.lastSeen = d.clock.Now()
+	return w
+}
+
 // Lease books up to maxCells pending cells (all from one sweep) to workerID.
 // nil means no work is pending. Unknown workers are registered implicitly so
 // a dispatcher restart does not strand running workers.
 func (d *Dispatcher) Lease(workerID string, maxCells int) *LeaseGrant {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.touchWorkerLocked(workerID)
 	if maxCells <= 0 || maxCells > d.cfg.LeaseCells {
 		maxCells = d.cfg.LeaseCells
 	}
@@ -329,10 +440,20 @@ func (d *Dispatcher) Lease(workerID string, maxCells int) *LeaseGrant {
 
 	d.seq++
 	grant.ID = fmt.Sprintf("lease-%d", d.seq)
-	d.leases[grant.ID] = &lease{
+	l := &lease{
 		id: grant.ID, workerID: workerID, sweep: sw,
 		cells: tasks, deadline: d.clock.Now().Add(d.cfg.LeaseTTL),
 	}
+	if sw.spans != nil {
+		l.span = sw.root.StartChild("lease")
+		l.span.SetAttr("lease", grant.ID)
+		l.span.SetAttr("worker", workerID)
+		l.span.SetAttr("cells", len(grant.Cells))
+		// Workers parent their per-cell spans under this lease span: same
+		// trace, lease span as parent.
+		grant.TraceParent = obs.TraceContext{TraceID: sw.traceID}.Child(l.span.ID()).Header()
+	}
+	d.leases[grant.ID] = l
 	metricLeases.Inc()
 	d.logger.Info("fabric lease granted",
 		"lease", grant.ID, "worker", workerID, "sweep", sw.id, "cells", len(grant.Cells))
@@ -350,6 +471,7 @@ func (d *Dispatcher) Heartbeat(leaseID string) (ok, canceled bool) {
 		return false, false
 	}
 	l.deadline = d.clock.Now().Add(d.cfg.LeaseTTL)
+	d.touchWorkerLocked(l.workerID)
 	return true, l.sweep.canceled
 }
 
@@ -358,19 +480,32 @@ func (d *Dispatcher) Heartbeat(leaseID string) (ok, canceled bool) {
 // dropped. accepted counts consumed records; ok=false means the lease is
 // unknown and the worker should abandon the rest.
 func (d *Dispatcher) Results(leaseID string, recs []hotpotato.SweepResultRecord) (accepted int, ok bool) {
+	return d.PostResults(ResultsRequest{LeaseID: leaseID, Records: recs})
+}
+
+// PostResults is Results plus the observability sidecars of the wire form:
+// worker span subtrees are grafted into the sweep's merged trace (only for
+// cells whose record was accepted — a duplicate result must not duplicate
+// its subtree) and twin-drift reports are tallied into the sweep status.
+func (d *Dispatcher) PostResults(req ResultsRequest) (accepted int, ok bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	l, found := d.leases[leaseID]
+	l, found := d.leases[req.LeaseID]
 	if !found {
 		return 0, false
 	}
-	l.deadline = d.clock.Now().Add(d.cfg.LeaseTTL) // results are heartbeats too
-	for _, rec := range recs {
+	now := d.clock.Now()
+	l.deadline = now.Add(d.cfg.LeaseTTL) // results are heartbeats too
+	sw := l.sweep
+	d.touchWorkerLocked(l.workerID)
+	acceptedIdx := map[int]bool{}
+	for _, rec := range req.Records {
 		t, mine := l.cells[rec.Index]
 		if !mine || t.state != cellLeased {
 			continue
 		}
 		accepted++
+		acceptedIdx[rec.Index] = true
 		delete(l.cells, rec.Index)
 		d.finishCellLocked(t, rec)
 		if d.cfg.Archive != nil && rec.Status == "ok" && !rec.Cached && t.hash != "" {
@@ -379,8 +514,58 @@ func (d *Dispatcher) Results(leaseID string, recs []hotpotato.SweepResultRecord)
 			}
 		}
 	}
+	if accepted > 0 {
+		d.workers[l.workerID].cellsDone += int64(accepted)
+		ws := sw.perWorker[l.workerID]
+		if ws == nil {
+			ws = &sweepWorkerStats{first: now}
+			sw.perWorker[l.workerID] = ws
+		}
+		ws.done += accepted
+		ws.last = now
+	}
+	if sw.spans != nil {
+		for _, cs := range req.Spans {
+			if !acceptedIdx[cs.Index] || len(cs.Spans) == 0 {
+				continue
+			}
+			// Stamp authoritative worker attribution on the batch roots (the
+			// lease, not the request body, says who executed the cell).
+			inBatch := map[obs.SpanID]bool{}
+			for _, r := range cs.Spans {
+				inBatch[r.ID] = true
+			}
+			for i, r := range cs.Spans {
+				if r.Parent != 0 && inBatch[r.Parent] {
+					continue
+				}
+				if cs.Spans[i].Attrs == nil {
+					cs.Spans[i].Attrs = map[string]any{}
+				}
+				cs.Spans[i].Attrs["worker"] = l.workerID
+			}
+			grafted := sw.spans.Graft(l.span.ID(), cs.Spans)
+			metricSpansGrafted.Add(int64(grafted))
+			sw.spanExportDropped += cs.Dropped
+		}
+	}
+	for _, dr := range req.Drift {
+		sw.drift.checks++
+		sw.drift.sumResidual += dr.ResidualC
+		if abs := dr.ResidualC; abs < 0 {
+			if -abs > sw.drift.maxAbs {
+				sw.drift.maxAbs = -abs
+			}
+		} else if abs > sw.drift.maxAbs {
+			sw.drift.maxAbs = abs
+		}
+		if dr.Violated {
+			sw.drift.violations++
+		}
+	}
 	if len(l.cells) == 0 {
-		delete(d.leases, leaseID)
+		l.span.End()
+		delete(d.leases, req.LeaseID)
 	}
 	return accepted, true
 }
@@ -419,10 +604,16 @@ func (d *Dispatcher) ExpireLeases(now time.Time) int {
 			}
 			t.state = cellPending
 			requeued++
+			t.sweep.requeues++
 			metricCellsRequeued.Inc()
 			// Front of the queue: recovered cells are the sweep's critical
 			// path, so they go out on the next lease.
 			d.queue = append([]*cellTask{t}, d.queue...)
+		}
+		if l.span != nil {
+			l.span.SetError(fmt.Errorf("lease expired (worker %s stopped heartbeating); %d cells requeued, %d failed",
+				l.workerID, requeued, failed))
+			l.span.End()
 		}
 		delete(d.leases, id)
 		d.logger.Warn("fabric lease expired",
@@ -469,6 +660,7 @@ func (d *Dispatcher) cancelSweep(sw *sweepState) {
 				Error: "sweep canceled",
 			})
 		}
+		l.span.End()
 		delete(d.leases, id)
 	}
 	d.logger.Info("fabric sweep canceled", "sweep", sw.id)
@@ -513,24 +705,34 @@ func (d *Dispatcher) finishCellLocked(t *cellTask, rec hotpotato.SweepResultReco
 }
 
 // closeSweepLocked seals a finished sweep: closes its record stream, writes
-// the archive manifest, and forgets the sweep. Callers hold d.mu.
+// the archive manifest, and moves the sweep from the active registry to the
+// bounded recent ring (the status surface keeps answering for it; memory
+// stays bounded because the ring evicts). Callers hold d.mu.
 func (d *Dispatcher) closeSweepLocked(sw *sweepState) {
 	if sw.closed {
 		return
 	}
 	sw.closed = true
+	sw.finished = d.clock.Now()
 	close(sw.records)
-	// The Sweep handle holds its own pointer, so the registry entry is no
-	// longer needed; dropping it here is what bounds the dispatcher's memory.
+	if sw.canceled {
+		sw.root.SetError(fmt.Errorf("sweep canceled"))
+	}
+	sw.root.End()
 	delete(d.sweeps, sw.id)
+	d.recent = append(d.recent, sw)
+	if len(d.recent) > d.cfg.RecentSweeps {
+		d.recent = append(d.recent[:0], d.recent[len(d.recent)-d.cfg.RecentSweeps:]...)
+	}
 	if d.cfg.Archive != nil && !sw.canceled {
 		m := Manifest{
-			SweepID: sw.id, RequestID: sw.requestID,
+			SweepID: sw.id, RequestID: sw.requestID, TraceID: sw.traceID,
 			Total: sw.total, Completed: sw.completed, Failed: sw.failed,
 			Canceled:  sw.canceledN,
 			Pruned:    sw.prunedN,
 			CacheHits: sw.cacheHits,
-			ElapsedMS: float64(d.clock.Now().Sub(sw.began).Nanoseconds()) / 1e6,
+			Requeues:  sw.requeues,
+			ElapsedMS: float64(sw.finished.Sub(sw.began).Nanoseconds()) / 1e6,
 		}
 		if err := d.cfg.Archive.WriteManifest(sw.id, m); err != nil {
 			d.logger.Warn("fabric manifest write failed", "sweep", sw.id, "error", err.Error())

@@ -74,7 +74,7 @@ func newTestDispatcher(clock Clock, maxRetries int) *Dispatcher {
 func TestLeaseExpiryRequeuesAtFront(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	d := newTestDispatcher(clock, 3)
-	sweep := d.Submit(testCells(t, 4), "")
+	sweep := d.Submit(testCells(t, 4), "", "")
 
 	dead := d.Lease("doomed", 2) // books cells 0,1
 	if dead == nil || len(dead.Cells) != 2 {
@@ -139,7 +139,7 @@ func TestLeaseExpiryRequeuesAtFront(t *testing.T) {
 func TestLeaseExpiryHonorsHeartbeat(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	d := newTestDispatcher(clock, 3)
-	d.Submit(testCells(t, 2), "")
+	d.Submit(testCells(t, 2), "", "")
 
 	grant := d.Lease("slow", 2)
 	for i := 0; i < 5; i++ {
@@ -158,7 +158,7 @@ func TestLeaseExpiryHonorsHeartbeat(t *testing.T) {
 func TestLeaseRetryExhaustion(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	d := newTestDispatcher(clock, 1) // 1 retry: second expiry fails the cell
-	sweep := d.Submit(testCells(t, 1), "")
+	sweep := d.Submit(testCells(t, 1), "", "")
 
 	for round := 0; round < 2; round++ {
 		if grant := d.Lease("flaky", 1); grant == nil {
@@ -193,7 +193,7 @@ func TestLeaseRetryExhaustion(t *testing.T) {
 func TestResultsFirstWins(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	d := newTestDispatcher(clock, 3)
-	sweep := d.Submit(testCells(t, 1), "")
+	sweep := d.Submit(testCells(t, 1), "", "")
 
 	first := d.Lease("w1", 1)
 	clock.Advance(11 * time.Second)
@@ -235,7 +235,7 @@ func TestSubmitArchiveHit(t *testing.T) {
 	}
 
 	d := NewDispatcher(Config{LeaseTTL: 10 * time.Second, LeaseCells: 2, Clock: clock, Archive: archive})
-	sweep := d.Submit(cells, "")
+	sweep := d.Submit(cells, "", "")
 
 	grant := d.Lease("w", 2)
 	if grant == nil || len(grant.Cells) != 1 || grant.Cells[0].Index != 1 {
@@ -268,7 +268,7 @@ func TestSubmitArchiveHit(t *testing.T) {
 func TestCancelReleasesLeasedCells(t *testing.T) {
 	clock := &fakeClock{now: time.Unix(1000, 0)}
 	d := newTestDispatcher(clock, 3)
-	sweep := d.Submit(testCells(t, 3), "")
+	sweep := d.Submit(testCells(t, 3), "", "")
 
 	grant := d.Lease("w", 2) // cells 0,1 leased; 2 pending
 	sweep.Cancel()

@@ -1,0 +1,168 @@
+package fabric
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// fleet.go is the dispatcher half of metrics federation. Workers piggyback
+// their metric movements on heartbeats (HeartbeatRequest.Counters carries
+// deltas since the previous heartbeat, .Gauges carries absolute values); the
+// dispatcher folds them into fleet_<name> aggregates on its own registry, so
+// one /metrics scrape of the dispatcher answers "what is the whole fleet
+// doing" without scraping every worker.
+//
+// Counters fold additively (sum of deltas across all workers and restarts);
+// gauges fold as the sum of each worker's latest value. Histograms are not
+// federated — cumulative buckets only merge across processes when every
+// process uses identical bounds, a coupling the wire should not assume.
+//
+// The fleet_* metric families are created lazily (worker sets evolve), which
+// is the one place the registry's register-at-init discipline is relaxed;
+// the fold path still only touches pre-resolved handles from a map, never
+// the hot loop. The fold state is process-global, like the registry itself:
+// two dispatchers in one process (tests) share the fleet_* series.
+
+// maxFleetSeries bounds how many distinct fleet_* series a fleet can create
+// — a misbehaving worker must not be able to grow /metrics without bound.
+// Overflow is counted in fabric_fleet_series_dropped_total.
+const maxFleetSeries = 512
+
+var (
+	fleetMu       sync.Mutex
+	fleetCounters = map[string]*obs.Counter{}
+	fleetGauges   = map[string]*obs.Gauge{}
+)
+
+// validMetricName matches the Prometheus metric-name charset; anything else
+// from the wire is dropped (a worker should never be able to break the
+// dispatcher's exposition format).
+func validMetricName(s string) bool {
+	if s == "" || len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fleetCounter resolves (lazily creating) the fleet counter for a worker
+// metric name. nil means the name is invalid or the series budget is spent.
+func fleetCounter(name string) *obs.Counter {
+	if !validMetricName(name) {
+		metricFleetSeriesDropped.Inc()
+		return nil
+	}
+	fleetMu.Lock()
+	defer fleetMu.Unlock()
+	if c, ok := fleetCounters[name]; ok {
+		return c
+	}
+	if len(fleetCounters)+len(fleetGauges) >= maxFleetSeries {
+		metricFleetSeriesDropped.Inc()
+		return nil
+	}
+	c := obs.NewCounter("fleet_"+name, "Fleet-federated sum of the workers' "+name+" counter.")
+	fleetCounters[name] = c
+	return c
+}
+
+// fleetGauge resolves (lazily creating) the fleet gauge for a worker metric
+// name.
+func fleetGauge(name string) *obs.Gauge {
+	if !validMetricName(name) {
+		metricFleetSeriesDropped.Inc()
+		return nil
+	}
+	fleetMu.Lock()
+	defer fleetMu.Unlock()
+	if g, ok := fleetGauges[name]; ok {
+		return g
+	}
+	if len(fleetCounters)+len(fleetGauges) >= maxFleetSeries {
+		metricFleetSeriesDropped.Inc()
+		return nil
+	}
+	g := obs.NewGauge("fleet_"+name, "Fleet-federated sum of the workers' latest "+name+" gauge values.")
+	fleetGauges[name] = g
+	return g
+}
+
+// FoldTelemetry folds one worker's heartbeat telemetry into the fleet
+// aggregates: counter deltas add to fleet counters; gauge values replace the
+// worker's previous contribution and the fleet gauge becomes the sum across
+// this dispatcher's workers. Negative counter deltas are dropped (a counter
+// that went backwards is a worker bug, not a fleet signal).
+func (d *Dispatcher) FoldTelemetry(workerID string, counters map[string]int64, gauges map[string]float64) {
+	if workerID == "" || (len(counters) == 0 && len(gauges) == 0) {
+		return
+	}
+	for name, delta := range counters {
+		if delta <= 0 {
+			continue
+		}
+		if c := fleetCounter(name); c != nil {
+			c.Add(delta)
+		}
+	}
+	if len(gauges) == 0 {
+		return
+	}
+	d.mu.Lock()
+	w := d.touchWorkerLocked(workerID)
+	if w.gauges == nil {
+		w.gauges = make(map[string]float64, len(gauges))
+	}
+	sums := make(map[string]float64, len(gauges))
+	for name, v := range gauges {
+		w.gauges[name] = v
+		sums[name] = 0
+	}
+	for _, ws := range d.workers {
+		for name := range sums {
+			sums[name] += ws.gauges[name]
+		}
+	}
+	d.mu.Unlock()
+	for name, sum := range sums {
+		if g := fleetGauge(name); g != nil {
+			g.Set(sum)
+		}
+	}
+}
+
+// FleetCounters snapshots the folded fleet counter values by worker metric
+// name (without the fleet_ prefix) — the /healthz federation section.
+func FleetCounters() map[string]int64 {
+	fleetMu.Lock()
+	defer fleetMu.Unlock()
+	out := make(map[string]int64, len(fleetCounters))
+	for name, c := range fleetCounters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// fleetCounterNames returns the federated counter names, sorted (tests).
+func fleetCounterNames() []string {
+	fleetMu.Lock()
+	defer fleetMu.Unlock()
+	names := make([]string, 0, len(fleetCounters))
+	for name := range fleetCounters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

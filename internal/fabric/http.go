@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strings"
@@ -13,9 +14,13 @@ import (
 
 // Handler is the dispatcher's HTTP surface. Client-facing:
 //
-//	POST /v1/batch    same wire contract as hotpotato-server's /v1/batch
-//	GET  /healthz     dispatcher Stats
-//	GET  /metrics     Prometheus text exposition
+//	POST /v1/batch              same wire contract as hotpotato-server's /v1/batch
+//	GET  /v1/sweeps             active + recent sweeps, plus archive manifests
+//	GET  /v1/sweeps/{id}        one sweep's status (counts, throughput, ETA)
+//	GET  /v1/sweeps/{id}/spans  the merged fleet span tree (?format=jsonl for records)
+//	GET  /healthz               dispatcher Stats plus fleet_* counter snapshot
+//	GET  /metrics               Prometheus text exposition
+//	GET  /debug/vars            expvar JSON (registry published as "hotpotato")
 //
 // Worker-facing (the wire.go types):
 //
@@ -23,19 +28,26 @@ import (
 //	POST /fabric/v1/lease
 //	POST /fabric/v1/heartbeat
 //	POST /fabric/v1/results
+//	GET  /fabric/v1/workers     registered workers with liveness and health
 //
 // Errors reuse the v1 envelope shape {"error":{"code","message"}} with the
 // same code strings as the single-node server, so one client error path
 // covers both.
 func (d *Dispatcher) Handler() http.Handler {
+	obs.Default().PublishExpvar("hotpotato")
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batch", d.handleBatch)
+	mux.HandleFunc("GET /v1/sweeps", d.handleSweeps)
+	mux.HandleFunc("GET /v1/sweeps/{id}", d.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/spans", d.handleSweepSpans)
 	mux.HandleFunc("GET /healthz", d.handleHealth)
 	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("POST /fabric/v1/register", d.handleRegister)
 	mux.HandleFunc("POST /fabric/v1/lease", d.handleLease)
 	mux.HandleFunc("POST /fabric/v1/heartbeat", d.handleHeartbeat)
 	mux.HandleFunc("POST /fabric/v1/results", d.handleResults)
+	mux.HandleFunc("GET /fabric/v1/workers", d.handleWorkers)
 	return mux
 }
 
@@ -45,6 +57,7 @@ func (d *Dispatcher) Handler() http.Handler {
 const (
 	codeInvalidRequest = "invalid_request"
 	codeTooLarge       = "too_large"
+	codeNotFound       = "not_found"
 )
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -103,7 +116,7 @@ func (d *Dispatcher) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	requestID := r.Header.Get("X-Request-Id")
-	sweep := d.Submit(cells, requestID)
+	sweep := d.Submit(cells, requestID, r.Header.Get(obs.TraceParentHeader))
 	defer sweep.Cancel() // no-op when the sweep already finished
 
 	d.logger.Info("fabric batch started",
@@ -167,7 +180,55 @@ stream:
 }
 
 func (d *Dispatcher) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.Snapshot())
+	writeJSON(w, http.StatusOK, struct {
+		Stats
+		// Fleet is the federated counter snapshot (worker metric name →
+		// folded value), omitted until a worker has heartbeated telemetry.
+		Fleet map[string]int64 `json:"fleet,omitempty"`
+	}{d.Snapshot(), FleetCounters()})
+}
+
+func (d *Dispatcher) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.SweepStatuses(50))
+}
+
+func (d *Dispatcher) handleSweep(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := d.SweepStatus(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("sweep %q is neither active nor retained (older sweeps live in the archive manifests)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (d *Dispatcher) handleSweepSpans(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d.mu.Lock()
+	sw := d.findSweepLocked(id)
+	var spans *obs.SpanRecorder
+	if sw != nil {
+		spans = sw.spans
+	}
+	d.mu.Unlock()
+	if sw == nil || spans == nil {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("no span tree for sweep %q (unknown sweep, or span tracking disabled)", id))
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		// Flat records, one per line — the CI artifact format.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		spans.WriteJSONL(w)
+		return
+	}
+	tree, _ := d.SweepSpans(id)
+	writeJSON(w, http.StatusOK, tree)
+}
+
+func (d *Dispatcher) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.WorkerStatuses())
 }
 
 func (d *Dispatcher) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +265,7 @@ func (d *Dispatcher) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ok, canceled := d.Heartbeat(req.LeaseID)
+	d.FoldTelemetry(req.WorkerID, req.Counters, req.Gauges)
 	writeJSON(w, http.StatusOK, HeartbeatResponse{OK: ok, Canceled: canceled})
 }
 
@@ -213,7 +275,7 @@ func (d *Dispatcher) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeInvalidRequest, err)
 		return
 	}
-	accepted, ok := d.Results(req.LeaseID, req.Records)
+	accepted, ok := d.PostResults(req)
 	writeJSON(w, http.StatusOK, ResultsResponse{Accepted: accepted, OK: ok})
 }
 

@@ -28,4 +28,8 @@ var (
 		"Pending cells awaiting a lease.")
 	metricDroppedRecords = obs.NewCounter("fabric_dropped_records_total",
 		"Stream records the dispatcher refused to write (marshal failure or post-summary).")
+	metricSpansGrafted = obs.NewCounter("fabric_spans_grafted_total",
+		"Worker-exported span records merged into sweep trace trees.")
+	metricFleetSeriesDropped = obs.NewCounter("fabric_fleet_series_dropped_total",
+		"Federated metric series rejected (invalid name or fleet series budget exhausted).")
 )

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	hotpotato "repro"
+	"repro/internal/obs"
 )
 
 // Wire types of the worker-facing surface (/fabric/v1/*). All bodies are
@@ -64,6 +65,12 @@ type LeaseGrant struct {
 	// TTLMS echoes the lease TTL so a worker needs no registration state to
 	// compute a safe heartbeat cadence.
 	TTLMS int64 `json:"ttl_ms"`
+	// TraceParent is the sweep's trace context in W3C traceparent form
+	// (obs.ParseTraceParent): the trace ID every span of the sweep shares,
+	// with the dispatcher's sweep span as the parent. Workers stamp it on
+	// their per-cell span roots so the exported records merge into one
+	// fleet-wide tree. Empty when the dispatcher has span tracking disabled.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // HeartbeatRequest extends a lease's deadline.
@@ -75,6 +82,14 @@ type HeartbeatRequest struct {
 	// Done reports how many of the lease's cells have finished — progress
 	// telemetry for the dispatcher's logs, not a correctness input.
 	Done int `json:"done,omitempty"`
+	// Counters carries the worker's metric counter DELTAS since its previous
+	// heartbeat (zero deltas omitted). The dispatcher folds them into its
+	// fleet_* aggregates; deltas (not absolutes) make the fold restart-safe —
+	// a rebooted worker resumes from zero without double counting.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges carries the worker's gauge values, absolute (gauges do not
+	// accumulate; the dispatcher sums the latest value per worker).
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 }
 
 // HeartbeatResponse acknowledges (or rejects) a heartbeat.
@@ -101,6 +116,49 @@ type ResultsRequest struct {
 	// Records are the finished cells in hotpotato wire form — exactly what a
 	// single-node /v1/batch would have streamed for them.
 	Records []hotpotato.SweepResultRecord `json:"records"`
+	// Spans exports each finished cell's worker-side span records so the
+	// dispatcher can graft them into the sweep's merged trace tree.
+	Spans []CellSpans `json:"spans,omitempty"`
+	// Drift reports twin-drift observations that closed on this worker: cells
+	// whose SpecHash had a pending /v1/predict answer when the full simulation
+	// completed. The dispatcher tallies them into the sweep's status.
+	Drift []DriftReport `json:"drift,omitempty"`
+}
+
+// CellSpans is the exported span subtree of one finished cell. Span IDs are
+// local to the worker's per-cell recorder; the dispatcher re-numbers them on
+// merge (obs.SpanRecorder.Graft), so only intra-batch parent links matter.
+type CellSpans struct {
+	// Index is the cell's index in the sweep's expansion order.
+	Index int `json:"index"`
+	// Worker is the executing worker's identity, for attribution in the
+	// merged tree.
+	Worker string `json:"worker,omitempty"`
+	// Spans are the cell's span records, roots first (the worker's "cell"
+	// root span carries the trace_id / worker attribution attrs).
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
+	// Dropped is how many spans the worker's per-cell recorder dropped beyond
+	// its capacity (long simulations emit one span per scheduler epoch).
+	Dropped int64 `json:"dropped,omitempty"`
+}
+
+// DriftReport is one closed twin-drift observation: the signed gap between
+// the analytical twin's transient-peak prediction for a SpecHash and the
+// full simulation's answer for the same hash.
+type DriftReport struct {
+	// Index is the cell's index in the sweep (stamped by the worker; -1 for
+	// observations closed outside a sweep).
+	Index int `json:"index"`
+	// Hash is the SpecHash both answers share.
+	Hash string `json:"hash"`
+	// ResidualC is simulated peak minus predicted peak, °C (signed: positive
+	// means the twin under-predicted).
+	ResidualC float64 `json:"residual_c"`
+	// BoundC is the prediction's error bound, °C.
+	BoundC float64 `json:"bound_c"`
+	// Violated reports |ResidualC| > BoundC for a conclusive prediction —
+	// the live counterpart of twin_diff_test's offline guarantee failing.
+	Violated bool `json:"violated"`
 }
 
 // ResultsResponse acknowledges a results post.

@@ -19,6 +19,18 @@ import (
 // ResultCache as the worker's own /v1/run traffic.
 type RunCell func(ctx context.Context, cell hotpotato.SweepCell) (*hotpotato.Result, bool, error)
 
+// DriftQuery asks the worker's serving stack whether finishing a cell with
+// this SpecHash closed a twin-drift observation (a pending /v1/predict
+// answer for the same hash). hotpotato-server plugs its drift tracker in
+// here; the report rides the results post to the dispatcher's sweep status.
+type DriftQuery func(hash string) (DriftReport, bool)
+
+// DefaultCellSpanDepth caps the spans exported per cell. A cell's subtree is
+// its root plus the service phases plus one span per scheduler epoch, so the
+// cap keeps long simulations from shipping megabytes of epoch spans on every
+// results post; the overflow is counted in CellSpans.Dropped.
+const DefaultCellSpanDepth = 128
+
 // Worker is the pull loop a hotpotato-server runs when given a dispatcher:
 // register, then lease → execute → post results → heartbeat, forever. It
 // never applies local policy (like the worker's own -solver default) to
@@ -42,6 +54,17 @@ type Worker struct {
 	// IdlePoll is the lease-poll interval while the queue is empty; 0 means
 	// one second.
 	IdlePoll time.Duration
+	// SpanDepth caps the span records captured (and exported) per cell: 0
+	// means DefaultCellSpanDepth, negative disables span capture entirely.
+	SpanDepth int
+	// Drift, when set, is consulted after every finished cell; closed
+	// twin-drift observations are reported with the cell's result.
+	Drift DriftQuery
+
+	// lastCounters is the previous heartbeat's counter snapshot — the
+	// baseline the federation deltas are computed against. Only the (one at
+	// a time) heartbeat goroutine touches it after Run seeds it.
+	lastCounters map[string]int64
 }
 
 // Run registers and pulls work until ctx is done. Transient dispatcher
@@ -59,6 +82,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	if w.IdlePoll <= 0 {
 		w.IdlePoll = time.Second
 	}
+	// Federation deltas start from here, not zero: a process hosting several
+	// workers (tests) must not re-report the process counters per worker.
+	w.lastCounters, _ = obs.Default().Values()
 
 	var reg RegisterResponse
 	for {
@@ -140,6 +166,38 @@ func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, heartbeatE
 		}
 	}()
 
+	// Span capture: when the grant carries a trace context, every cell runs
+	// under a fresh bounded recorder whose root span joins the dispatcher's
+	// trace (trace_id attr, lease span as remote parent). The recorder map
+	// needs no lock — Workers: 1 below means the exec wrapper and the emit
+	// callback share one goroutine.
+	exec := w.Exec
+	recorders := map[int]*obs.SpanRecorder{}
+	tc, traced := obs.ParseTraceParent(grant.TraceParent)
+	if traced && w.SpanDepth >= 0 {
+		depth := w.SpanDepth
+		if depth == 0 {
+			depth = DefaultCellSpanDepth
+		}
+		exec = func(ctx context.Context, cell hotpotato.SweepCell) (*hotpotato.Result, bool, error) {
+			rec := obs.NewSpanRecorder(depth)
+			recorders[cell.Index] = rec
+			root := rec.Start("cell")
+			root.SetAttr("index", cell.Index)
+			root.SetAttr("worker", w.ID)
+			root.SetAttr("trace_id", tc.TraceID)
+			root.SetAttr("parent_span_id", tc.SpanID)
+			ctx = obs.ContextWithTraceContext(obs.ContextWithSpan(ctx, root), tc)
+			res, cached, err := w.Exec(ctx, cell)
+			if cached {
+				root.SetAttr("cached", true)
+			}
+			root.SetError(err)
+			root.End()
+			return res, cached, err
+		}
+	}
+
 	// Cells run through the library's own sweep executor (Workers: 1 — the
 	// fabric's parallelism is many workers, not many goroutines per lease),
 	// so canonicalization, hashing, and result classification are the exact
@@ -149,7 +207,7 @@ func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, heartbeatE
 	finished := 0
 	hotpotato.ExecuteSweepCells(leaseCtx, grant.Cells, hotpotato.SweepOptions{
 		Workers: 1,
-		Run:     w.Exec,
+		Run:     exec,
 	}, func(cr hotpotato.SweepCellResult) {
 		rec := hotpotato.NewSweepResultRecord(cr)
 		if leaseCtx.Err() != nil && rec.Status == "canceled" {
@@ -157,9 +215,24 @@ func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, heartbeatE
 			// reporting them canceled would wrongly finish them.
 			return
 		}
+		req := ResultsRequest{WorkerID: w.ID, LeaseID: grant.ID,
+			Records: []hotpotato.SweepResultRecord{rec}}
+		if sr := recorders[cr.Index]; sr != nil {
+			delete(recorders, cr.Index)
+			req.Spans = []CellSpans{{
+				Index: cr.Index, Worker: w.ID, Spans: sr.Records(), Dropped: sr.Dropped(),
+			}}
+		}
+		if w.Drift != nil && rec.Hash != "" {
+			if dr, closed := w.Drift(rec.Hash); closed {
+				dr.Index = cr.Index
+				dr.Hash = rec.Hash
+				req.Drift = []DriftReport{dr}
+			}
+		}
 		// Post with ctx, not leaseCtx: a result finished microseconds before
 		// the lease was canceled is still worth delivering.
-		resp, perr := w.postResults(ctx, grant.ID, []hotpotato.SweepResultRecord{rec})
+		resp, perr := w.postResults(ctx, req)
 		if perr != nil {
 			w.Logger.Warn("fabric results post failed", "lease", grant.ID, "error", perr.Error())
 			// The cell is done but unreported; the lease expires and the cell
@@ -181,6 +254,16 @@ func (w *Worker) executeLease(ctx context.Context, grant *LeaseGrant, heartbeatE
 	})
 	cancel()
 	<-hbStopped
+	// Final telemetry flush, after the heartbeat goroutine is joined (the
+	// telemetry snapshot is single-goroutine state). Short leases finish
+	// before the first heartbeat tick ever fires, which would leave a fast
+	// sweep entirely unfederated; the dispatcher folds the payload even when
+	// the lease itself is already forgotten.
+	if ctx.Err() == nil {
+		if _, err := w.heartbeat(ctx, grant.ID, finished); err != nil {
+			w.Logger.Warn("fabric telemetry flush failed", "lease", grant.ID, "error", err.Error())
+		}
+	}
 }
 
 func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
@@ -196,16 +279,36 @@ func (w *Worker) lease(ctx context.Context) (*LeaseGrant, error) {
 }
 
 func (w *Worker) heartbeat(ctx context.Context, leaseID string, done int) (HeartbeatResponse, error) {
+	counters, gauges := w.telemetry()
 	var resp HeartbeatResponse
 	err := w.post(ctx, "/fabric/v1/heartbeat",
-		HeartbeatRequest{WorkerID: w.ID, LeaseID: leaseID, Done: done}, &resp)
+		HeartbeatRequest{WorkerID: w.ID, LeaseID: leaseID, Done: done,
+			Counters: counters, Gauges: gauges}, &resp)
 	return resp, err
 }
 
-func (w *Worker) postResults(ctx context.Context, leaseID string, recs []hotpotato.SweepResultRecord) (ResultsResponse, error) {
+// telemetry assembles the federation payload: counter deltas since the last
+// heartbeat (zero deltas omitted) and current gauge values. Called only from
+// the per-lease heartbeat goroutine — one at a time, joined before the next
+// lease — so lastCounters needs no lock.
+func (w *Worker) telemetry() (map[string]int64, map[string]float64) {
+	counters, gauges := obs.Default().Values()
+	deltas := make(map[string]int64)
+	for name, v := range counters {
+		if d := v - w.lastCounters[name]; d > 0 {
+			deltas[name] = d
+		}
+		w.lastCounters[name] = v
+	}
+	if len(deltas) == 0 {
+		deltas = nil
+	}
+	return deltas, gauges
+}
+
+func (w *Worker) postResults(ctx context.Context, req ResultsRequest) (ResultsResponse, error) {
 	var resp ResultsResponse
-	err := w.post(ctx, "/fabric/v1/results",
-		ResultsRequest{WorkerID: w.ID, LeaseID: leaseID, Records: recs}, &resp)
+	err := w.post(ctx, "/fabric/v1/results", req, &resp)
 	return resp, err
 }
 

@@ -346,6 +346,23 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
+// Values snapshots every counter and gauge value by name — the federation
+// payload a fabric worker diffs between heartbeats. Histograms are excluded:
+// their cumulative buckets do not fold additively across processes without
+// identical bounds, so federation carries scalars only.
+func (r *Registry) Values() (counters map[string]int64, gauges map[string]float64) {
+	cs, gs, _ := r.snapshotLists()
+	counters = make(map[string]int64, len(cs))
+	for _, c := range cs {
+		counters[c.name] = c.Value()
+	}
+	gauges = make(map[string]float64, len(gs))
+	for _, g := range gs {
+		gauges[g.name] = g.Value()
+	}
+	return counters, gauges
+}
+
 // PublishExpvar publishes the registry under the given expvar name (JSON at
 // GET /debug/vars), once; later calls are no-ops. expvar panics on duplicate
 // names, so the once-guard makes the call safe from multiple servers in one

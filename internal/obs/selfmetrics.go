@@ -1,0 +1,15 @@
+package obs
+
+// selfmetrics.go instruments the observability layer itself. SpanRecorder
+// and RingTracer drop counts were previously visible only in the per-job
+// endpoint envelopes (total/dropped fields), which makes a fleet-wide drop
+// rate — the signal that retention depths are undersized — unobservable
+// from /metrics. These process-global counters aggregate the drops across
+// every recorder and tracer in the process; the per-instance Dropped()
+// accessors remain the per-job view.
+var (
+	metricSpansDropped = NewCounter("obs_spans_dropped_total",
+		"Spans dropped by SpanRecorder capacity bounds, summed over all recorders in the process.")
+	metricTraceEventsDropped = NewCounter("obs_trace_events_dropped_total",
+		"Epoch trace events overwritten by RingTracer ring bounds, summed over all tracers in the process.")
+)

@@ -161,6 +161,7 @@ type SpanNode struct {
 type SpanRecorder struct {
 	mu      sync.Mutex
 	spans   []*Span
+	grafted []SpanRecord // completed records imported from other processes
 	nextID  SpanID
 	dropped int64
 }
@@ -187,13 +188,59 @@ func (r *SpanRecorder) start(name string, parent SpanID) *Span {
 	r.mu.Lock()
 	r.nextID++
 	s := &Span{rec: r, id: r.nextID, parent: parent, name: name, start: time.Now()}
-	if len(r.spans) < cap(r.spans) {
+	if len(r.spans)+len(r.grafted) < cap(r.spans) {
 		r.spans = append(r.spans, s)
 	} else {
 		r.dropped++
+		metricSpansDropped.Inc()
 	}
 	r.mu.Unlock()
 	return s
+}
+
+// Graft imports completed span records exported by another process's
+// recorder — the dispatcher-side merge of a worker's per-cell spans. Every
+// record is re-numbered into r's own ID space (remote recorders all count
+// from 1, so raw IDs would collide); parent links within the batch are
+// preserved, and records whose parent is not in the batch become children of
+// `parent` (0 grafts them as additional roots). Grafted records count
+// against the recorder's capacity and the overflow against Dropped. Returns
+// how many records were retained.
+func (r *SpanRecorder) Graft(parent SpanID, records []SpanRecord) int {
+	if r == nil || len(records) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	remap := make(map[SpanID]SpanID, len(records))
+	for _, rec := range records {
+		r.nextID++
+		remap[rec.ID] = r.nextID
+	}
+	kept := 0
+	for _, rec := range records {
+		if len(r.spans)+len(r.grafted) >= cap(r.spans) {
+			r.dropped++
+			metricSpansDropped.Inc()
+			continue
+		}
+		rec.ID = remap[rec.ID]
+		if mapped, ok := remap[rec.Parent]; ok && rec.Parent != 0 {
+			rec.Parent = mapped
+		} else {
+			rec.Parent = parent
+		}
+		if rec.Attrs != nil { // records share the caller's maps; copy before keeping
+			attrs := make(map[string]any, len(rec.Attrs))
+			for k, v := range rec.Attrs {
+				attrs[k] = v
+			}
+			rec.Attrs = attrs
+		}
+		r.grafted = append(r.grafted, rec)
+		kept++
+	}
+	return kept
 }
 
 // Len returns how many spans are retained.
@@ -203,7 +250,7 @@ func (r *SpanRecorder) Len() int {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.spans)
+	return len(r.spans) + len(r.grafted)
 }
 
 // Total returns how many spans were ever started.
@@ -226,20 +273,22 @@ func (r *SpanRecorder) Dropped() int64 {
 	return r.dropped
 }
 
-// Records snapshots every retained span in start order. Un-ended spans
-// report their running duration with Done=false.
+// Records snapshots every retained span in start order (grafted remote
+// records follow the local spans, in graft order). Un-ended spans report
+// their running duration with Done=false.
 func (r *SpanRecorder) Records() []SpanRecord {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	spans := append([]*Span(nil), r.spans...)
+	grafted := append([]SpanRecord(nil), r.grafted...)
 	r.mu.Unlock()
-	out := make([]SpanRecord, len(spans))
+	out := make([]SpanRecord, len(spans), len(spans)+len(grafted))
 	for i, s := range spans {
 		out[i] = s.record()
 	}
-	return out
+	return append(out, grafted...)
 }
 
 // Tree assembles the retained spans into their hierarchy, children in start

@@ -88,6 +88,7 @@ func (t *RingTracer) RecordEpoch(ev EpochEvent) {
 	} else {
 		t.events[t.next] = ev
 		t.wrapped = true
+		metricTraceEventsDropped.Inc()
 	}
 	t.next = (t.next + 1) % cap(t.events)
 	t.total++

@@ -1,0 +1,123 @@
+package service
+
+// drift_test.go is the online twin-drift acceptance test: a /v1/predict
+// answer armed for a spec hash must be closed by the next full simulation of
+// that hash — whether the run is fresh or a result-cache hit — producing one
+// residual observation, zero bound violations for the committed calibration
+// artifact, and a takeable per-hash report for the fabric sidecar.
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	hotpotato "repro"
+)
+
+func TestTwinDriftPredictThenRun(t *testing.T) {
+	model := testTwinModel(t)
+	svr, ts := newTestServer(t, Config{Workers: 2, TwinModel: model})
+
+	checks0 := metricTwinDriftChecks.Value()
+	violations0 := metricTwinBoundViolations.Value()
+	residuals0 := metricTwinResidual.Count()
+
+	resp, body := postJSON(t, ts.URL+"/v1/predict", inDomainSpecJSON)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d: %s", resp.StatusCode, body)
+	}
+	pred := decodePrediction(t, body)
+
+	// A prediction alone observes nothing — drift needs the simulator's
+	// answer.
+	if got := metricTwinDriftChecks.Value(); got != checks0 {
+		t.Fatalf("predict alone moved twin_drift_checks_total by %d", got-checks0)
+	}
+
+	runResp, runBody := postJSON(t, ts.URL+"/v1/run", inDomainSpecJSON)
+	if runResp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", runResp.StatusCode, runBody)
+	}
+
+	if got := metricTwinDriftChecks.Value(); got != checks0+1 {
+		t.Fatalf("twin_drift_checks_total moved by %d, want 1", got-checks0)
+	}
+	if got := metricTwinResidual.Count(); got != residuals0+1 {
+		t.Errorf("twin_residual count moved by %d, want 1", got-residuals0)
+	}
+	// The committed TWIN_model.json's transient-peak bound contains the
+	// simulator's answer for the in-domain spec (TestPredictAnswersAndBoundHolds
+	// proves the general claim), so no violation may be recorded.
+	if got := metricTwinBoundViolations.Value(); got != violations0 {
+		t.Errorf("twin_bound_violations_total moved by %d, want 0", got-violations0)
+	}
+
+	// The closed report is takeable exactly once — the hook fabric workers
+	// use to ship the residual to the dispatcher.
+	report, ok := svr.TakeDriftReport(pred.SpecHash)
+	if !ok {
+		t.Fatalf("no drift report closed for %s", pred.SpecHash)
+	}
+	if math.IsNaN(report.ResidualC) || math.Abs(report.ResidualC) > pred.Prediction.TransientPeakC.Bound {
+		t.Errorf("residual %g °C outside the model bound %g", report.ResidualC, pred.Prediction.TransientPeakC.Bound)
+	}
+	if report.Violated {
+		t.Errorf("report flags a violation: %+v", report)
+	}
+	if report.BoundC != pred.Prediction.TransientPeakC.Bound {
+		t.Errorf("report bound %g, want the prediction's %g", report.BoundC, pred.Prediction.TransientPeakC.Bound)
+	}
+	if _, again := svr.TakeDriftReport(pred.SpecHash); again {
+		t.Error("drift report taken twice")
+	}
+
+	// Re-arm and replay: the second run is a result-cache hit, and a cached
+	// result must still close the pending prediction.
+	if resp, body := postJSON(t, ts.URL+"/v1/predict", inDomainSpecJSON); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-predict status %d: %s", resp.StatusCode, body)
+	}
+	runResp2, runBody2 := postJSON(t, ts.URL+"/v1/run", inDomainSpecJSON)
+	if runResp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached run status %d: %s", runResp2.StatusCode, runBody2)
+	}
+	if got := metricTwinDriftChecks.Value(); got != checks0+2 {
+		t.Errorf("after cached replay twin_drift_checks_total moved by %d, want 2", got-checks0)
+	}
+}
+
+func TestDriftTrackerEvictionAndGuards(t *testing.T) {
+	tr := newDriftTracker()
+
+	// Unarmed hashes and nil results are ignored outright.
+	tr.Observe("sha256:unarmed", &hotpotato.Result{PeakTemp: 70})
+	tr.Observe("sha256:unarmed", nil)
+	if _, ok := tr.Take("sha256:unarmed"); ok {
+		t.Fatal("unarmed observation produced a report")
+	}
+
+	// Inconclusive predictions close with a residual but can never violate.
+	tr.Predict("sha256:soft", hotpotato.TwinField{Estimate: 60, Bound: 0.1, Conclusive: false})
+	tr.Observe("sha256:soft", &hotpotato.Result{PeakTemp: 99})
+	if rep, ok := tr.Take("sha256:soft"); !ok || rep.Violated {
+		t.Fatalf("inconclusive prediction: ok=%v report=%+v", ok, rep)
+	}
+
+	// A conclusive prediction outside its bound flags the violation.
+	tr.Predict("sha256:hard", hotpotato.TwinField{Estimate: 60, Bound: 1, Conclusive: true})
+	tr.Observe("sha256:hard", &hotpotato.Result{PeakTemp: 70})
+	rep, ok := tr.Take("sha256:hard")
+	if !ok || !rep.Violated || rep.ResidualC != 10 {
+		t.Fatalf("violation report: ok=%v %+v", ok, rep)
+	}
+
+	// FIFO eviction: overfilling the pending set drops the oldest arm.
+	tr.Predict("sha256:oldest", hotpotato.TwinField{Estimate: 1, Bound: 1, Conclusive: true})
+	for i := 0; i < driftTrackerEntries; i++ {
+		tr.Predict(fmt.Sprintf("sha256:filler-%d", i), hotpotato.TwinField{Estimate: 1, Bound: 1, Conclusive: true})
+	}
+	tr.Observe("sha256:oldest", &hotpotato.Result{PeakTemp: 50})
+	if _, ok := tr.Take("sha256:oldest"); ok {
+		t.Error("evicted prediction still produced a report")
+	}
+}

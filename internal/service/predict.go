@@ -95,6 +95,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	// Arm the drift tracker: if a full run of this exact spec comes through
+	// later, its peak temperature is checked against this transient-peak
+	// prediction (see drift.go).
+	s.drift.Predict(hash, pred.TransientPeakC)
 	w.Header().Set("ETag", etag)
 	writeJSON(w, http.StatusOK, predictResponse{
 		Prediction:   pred,

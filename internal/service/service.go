@@ -113,9 +113,12 @@ type Server struct {
 	// results caches finished runs by SpecHash; nil when
 	// Config.ResultCacheEntries is negative.
 	results *ResultCache
-	jobs    *jobStore
-	queue   chan *jobState
-	sem     chan struct{}
+	// drift pairs /v1/predict answers with later full runs of the same
+	// SpecHash to track the twin's online residual (see drift.go).
+	drift *driftTracker
+	jobs  *jobStore
+	queue chan *jobState
+	sem   chan struct{}
 
 	// baseCtx parents every async run (and is grafted onto sync request
 	// contexts), so cancelRuns aborts all in-flight simulations.
@@ -162,6 +165,7 @@ func New(cfg Config) *Server {
 		cache:      NewPlatformCache(),
 		twin:       cfg.TwinModel,
 		results:    results,
+		drift:      newDriftTracker(),
 		jobs:       newJobStore(),
 		queue:      make(chan *jobState, cfg.QueueDepth),
 		sem:        make(chan struct{}, cfg.Workers),
@@ -403,7 +407,17 @@ type runResponse struct {
 // the slot and followers fall back to simulating themselves, so one
 // disconnected client never poisons a hash for everyone behind it. A nil
 // result cache (caching disabled) or empty hash degrades to a plain execute.
-func (s *Server) cachedExecute(ctx context.Context, spec hotpotato.RunSpec, hash string) (*hotpotato.Result, *obs.RunProfile, bool, error) {
+//
+// Every clean completion — fresh or replayed — is also offered to the twin
+// drift tracker: if /v1/predict answered for this hash earlier, the residual
+// between simulation and prediction is recorded (once per prediction; see
+// drift.go).
+func (s *Server) cachedExecute(ctx context.Context, spec hotpotato.RunSpec, hash string) (res *hotpotato.Result, prof *obs.RunProfile, cached bool, err error) {
+	defer func() {
+		if err == nil {
+			s.drift.Observe(hash, res)
+		}
+	}()
 	if s.results == nil || hash == "" {
 		res, prof, err := s.execute(ctx, spec, nil)
 		return res, prof, false, err
@@ -433,7 +447,6 @@ func (s *Server) cachedExecute(ctx context.Context, spec hotpotato.RunSpec, hash
 		return res, prof, false, err
 	}
 	s.results.RecordHit()
-	var err error
 	if errMsg != "" {
 		err = cachedError{msg: errMsg}
 	}
@@ -531,6 +544,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.rootSpan = j.spans.Start("run")
 		j.rootSpan.SetAttr("job_id", j.job.ID)
 		j.rootSpan.SetAttr("request_id", j.job.RequestID)
+		// The middleware's trace context links this job's local span tree to
+		// the distributed trace of whoever submitted it (a traceparent-bearing
+		// client, or the fabric dispatcher's sweep span).
+		if tc := obs.TraceContextFrom(r.Context()); tc.Valid() {
+			j.rootSpan.SetAttr("trace_id", tc.TraceID)
+			j.rootSpan.SetAttr("parent_span_id", tc.SpanID)
+		}
 		j.queueSpan = j.rootSpan.StartChild("queue_wait")
 	}
 	select {
